@@ -1,0 +1,99 @@
+"""Figure 11: impact of constraint choice on throughput.
+
+Write-heavy workload at the elbow load, five begin/end constraint
+combinations (§7.1.4):
+
+* Anc-Ser   — Ancestor begin, Serializability end (branching default);
+* Parent-Ser — Parent begin (Git-style private branch);
+* Anc-SI    — Ancestor begin, Snapshot Isolation end (branching);
+* Anc-SI-NB / Anc-Ser-NB — the non-branching variants.
+
+Paper findings: Ancestor outperforms Parent by ~21% (Parent's read-state
+selection searches the full DAG and its extra branches make fork-path
+checks and GC more expensive); branching Ser and SI are within ~5% of
+each other; the non-branching variants perform poorly — each operation
+is cheap but transactions see repeated aborts.
+"""
+
+import pytest
+
+from repro.core.constraints import (
+    AncestorConstraint,
+    NoBranchingConstraint,
+    ParentConstraint,
+    SerializabilityConstraint,
+    SnapshotIsolationConstraint,
+)
+from repro.sim.adapters import TardisAdapter
+from repro.workload import WRITE_HEAVY, YCSBWorkload, run_simulation
+
+from common import ELBOW_CLIENTS, N_KEYS, Report, config, run_once
+
+CONFIGS = [
+    ("Anc-Ser", lambda: TardisAdapter(
+        begin_constraint=AncestorConstraint(),
+        end_constraint=SerializabilityConstraint())),
+    ("Parent-Ser", lambda: TardisAdapter(
+        begin_constraint=ParentConstraint(),
+        end_constraint=SerializabilityConstraint())),
+    ("Anc-SI", lambda: TardisAdapter(
+        begin_constraint=AncestorConstraint(),
+        end_constraint=SnapshotIsolationConstraint())),
+    ("Anc-SI-NB", lambda: TardisAdapter(
+        begin_constraint=AncestorConstraint(),
+        end_constraint=SnapshotIsolationConstraint() & NoBranchingConstraint())),
+    ("Anc-Ser-NB", lambda: TardisAdapter(
+        begin_constraint=AncestorConstraint(),
+        end_constraint=SerializabilityConstraint() & NoBranchingConstraint())),
+]
+
+
+def _measure():
+    results = {}
+    for name, factory in CONFIGS:
+        results[name] = run_simulation(
+            factory(),
+            YCSBWorkload(mix=WRITE_HEAVY, n_keys=N_KEYS),
+            config(n_clients=ELBOW_CLIENTS),
+        )
+    return results
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_constraint_choice(benchmark):
+    results = run_once(benchmark, _measure)
+    report = Report("fig11", "Figure 11: constraint choice (write-heavy, %d clients)" % ELBOW_CLIENTS)
+    rows = [
+        [
+            name,
+            "%8.0f" % r.throughput_tps,
+            "%6.3f" % r.mean_latency_ms,
+            "%6d" % r.aborts,
+            "%5d" % r.adapter_stats.get("forks", 0),
+        ]
+        for name, r in ((n, results[n]) for n, _f in CONFIGS)
+    ]
+    report.table(
+        ["constraints", "tput(txn/s)", "lat(ms)", "aborts", "forks"],
+        rows,
+        widths=[14, 14, 10, 9, 8],
+    )
+    report.line()
+    report.line(
+        "Anc-Ser / Parent-Ser = %.2f (paper: 1.21)    Anc-Ser / Anc-SI = %.2f (paper: within 5%%)"
+        % (
+            results["Anc-Ser"].throughput_tps / results["Parent-Ser"].throughput_tps,
+            results["Anc-Ser"].throughput_tps / results["Anc-SI"].throughput_tps,
+        )
+    )
+    report.finish()
+
+    # Ancestor beats Parent.
+    assert results["Anc-Ser"].throughput_tps > results["Parent-Ser"].throughput_tps
+    # Branching Ser and SI close to each other.
+    ser, si = results["Anc-Ser"].throughput_tps, results["Anc-SI"].throughput_tps
+    assert abs(ser - si) / ser < 0.25
+    # Non-branching variants perform worse and abort.
+    for nb in ("Anc-SI-NB", "Anc-Ser-NB"):
+        assert results[nb].throughput_tps < min(ser, si)
+        assert results[nb].aborts > 0

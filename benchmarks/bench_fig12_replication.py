@@ -1,0 +1,75 @@
+"""Figure 12: TARDiS scalability across geo-replicated sites.
+
+One to three sites (modeled after the paper's us-central / europe-west /
+asia-east zones) run the same closed-loop workload with asynchronous
+multi-master replication. Because replicated transactions are applied
+under their StateID constraint, they never contend with local
+transactions, and aggregate throughput scales near-linearly with the
+number of sites (§7.1.6); local latency is unchanged.
+"""
+
+import pytest
+
+from repro.replication.cluster import run_replicated_workload
+from repro.workload import READ_HEAVY, WRITE_HEAVY, YCSBWorkload
+
+from common import N_KEYS, Report, config, run_once
+
+SITES = [1, 2, 3]
+
+
+def _measure():
+    results = {}
+    for mix in (READ_HEAVY, WRITE_HEAVY):
+        results[mix] = [
+            run_replicated_workload(
+                n,
+                lambda: YCSBWorkload(mix=mix, n_keys=N_KEYS),
+                config(n_clients=8, cores=4, maintenance_interval_ms=10),
+            )
+            for n in SITES
+        ]
+    return results
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_replication_scalability(benchmark):
+    results = run_once(benchmark, _measure)
+    report = Report("fig12", "Figure 12: TARDiS scalability (aggregate txn/s by #sites)")
+    rows = []
+    for n_idx, n in enumerate(SITES):
+        rh = results[READ_HEAVY][n_idx]
+        wh = results[WRITE_HEAVY][n_idx]
+        rows.append(
+            [
+                str(n),
+                "%8.0f" % rh.aggregate_tps,
+                "%8.0f" % wh.aggregate_tps,
+                "%6.3f" % rh.per_site[0].mean_latency_ms,
+                "%6.3f" % wh.per_site[0].mean_latency_ms,
+            ]
+        )
+    report.table(
+        ["sites", "RH aggregate", "WH aggregate", "RH lat(ms)", "WH lat(ms)"],
+        rows,
+        widths=[8, 15, 15, 12, 12],
+    )
+    rh1 = results[READ_HEAVY][0].aggregate_tps
+    rh3 = results[READ_HEAVY][2].aggregate_tps
+    wh1 = results[WRITE_HEAVY][0].aggregate_tps
+    wh3 = results[WRITE_HEAVY][2].aggregate_tps
+    report.line()
+    report.line(
+        "scaling 1->3 sites: RH %.2fx  WH %.2fx (paper: linear; remote"
+        % (rh3 / rh1, wh3 / wh1)
+    )
+    report.line("applies never contend with local transactions)")
+    report.finish()
+
+    # Near-linear aggregate scaling.
+    assert rh3 > 2.2 * rh1
+    assert wh3 > 2.2 * wh1
+    # Latency roughly unchanged by adding sites (async replication).
+    lat1 = results[READ_HEAVY][0].per_site[0].mean_latency_ms
+    lat3 = results[READ_HEAVY][2].per_site[0].mean_latency_ms
+    assert lat3 < 2 * lat1

@@ -1,0 +1,111 @@
+"""Figure 13: impact of garbage collection.
+
+One TARDiS site under a write-heavy load, with clients placing ceilings
+and with DAG compression + record promotion either running (TAR-GC) or
+disabled (TAR-NoGC). The no-GC run models the paper's observation that
+accumulated states/records put the runtime under memory pressure (in
+their Java prototype, old/new-generation GC pauses) and throughput
+collapses over time; with compression, throughput stays flat and the
+state/record counts stay bounded.
+"""
+
+import pytest
+
+from repro.sim.adapters import TardisAdapter
+from repro.workload import WRITE_HEAVY, YCSBWorkload, run_simulation
+
+from common import N_KEYS, Report, config, run_once
+
+DURATION = 1000.0
+SAMPLE_MS = 100.0
+
+
+def _run(gc_enabled: bool):
+    adapter = TardisAdapter(
+        branching=True,
+        gc_enabled=gc_enabled,
+        # Memory pressure: service times inflate as live state grows
+        # (the paper's Java GC stalls). Applies to both runs; the GC run
+        # simply never accumulates enough state to feel it.
+        pressure_per_item=6e-6,
+        pressure_threshold=20_000,
+    )
+    result = run_simulation(
+        adapter,
+        YCSBWorkload(mix=WRITE_HEAVY, n_keys=N_KEYS),
+        config(
+            n_clients=16,
+            duration_ms=DURATION,
+            warmup_ms=50.0,
+            maintenance_interval_ms=10.0,
+            sample_interval_ms=SAMPLE_MS,
+        ),
+    )
+    return adapter, result
+
+
+def _series(result):
+    """Per-interval throughput plus state/record counts."""
+    rows = []
+    prev_commits = 0
+    prev_t = 0.0
+    for sample in result.samples:
+        dt = (sample["t_ms"] - prev_t) / 1000.0
+        tput = (sample["commits"] - prev_commits) / dt if dt > 0 else 0.0
+        rows.append((sample["t_ms"], tput, sample["states"], sample["records"]))
+        prev_commits = sample["commits"]
+        prev_t = sample["t_ms"]
+    return rows
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_gc_impact(benchmark):
+    (gc_adapter, gc_result), (nogc_adapter, nogc_result) = run_once(
+        benchmark, lambda: (_run(True), _run(False))
+    )
+    report = Report("fig13", "Figure 13: impact of garbage collection over time")
+    report.line("(a) throughput over time; (b) live states / records")
+    header = ["t(ms)", "GC tput", "GC states", "GC recs", "NoGC tput", "NoGC states", "NoGC recs"]
+    gc_rows = _series(gc_result)
+    nogc_rows = _series(nogc_result)
+    rows = [
+        [
+            "%5.0f" % g[0],
+            "%8.0f" % g[1],
+            "%7d" % g[2],
+            "%8d" % g[3],
+            "%8.0f" % n[1],
+            "%9d" % n[2],
+            "%8d" % n[3],
+        ]
+        for g, n in zip(gc_rows, nogc_rows)
+    ]
+    report.table(header, rows, widths=[8, 10, 10, 10, 11, 12, 10])
+    first_nogc = nogc_rows[1][1]
+    last_nogc = nogc_rows[-1][1]
+    last_gc = gc_rows[-1][1]
+    first_gc = gc_rows[1][1]
+    report.line()
+    report.line(
+        "NoGC throughput decay: %.0f -> %.0f (%.0f%%)   GC: %.0f -> %.0f (flat)"
+        % (first_nogc, last_nogc, 100 * (1 - last_nogc / first_nogc), first_gc, last_gc)
+    )
+    report.line(
+        "final states: GC=%d NoGC=%d (%.1f%% fewer)   final records: GC=%d NoGC=%d"
+        % (
+            gc_rows[-1][2],
+            nogc_rows[-1][2],
+            100 * (1 - gc_rows[-1][2] / max(nogc_rows[-1][2], 1)),
+            gc_rows[-1][3],
+            nogc_rows[-1][3],
+        )
+    )
+    report.finish()
+
+    # GC keeps throughput flat; no-GC collapses over the run.
+    assert last_gc > 0.7 * first_gc
+    assert last_nogc < 0.7 * first_nogc
+    assert last_gc > 1.5 * last_nogc
+    # DAG compression removes the overwhelming majority of states.
+    assert gc_rows[-1][2] < 0.05 * nogc_rows[-1][2]
+    assert gc_rows[-1][3] < 0.25 * nogc_rows[-1][3]

@@ -1,0 +1,93 @@
+"""Figure 14(c) and the Retwis columns of 14(d): Retwis on three systems.
+
+Three workloads (§7.2.2): read-only (100% timeline reads), read-heavy
+(85% reads / 5% follows / 10% posts), post-heavy (65/5/30). Posting
+pushes the post id onto every follower's timeline, so popular users make
+posts contend with timeline reads.
+
+Paper findings: branching does not help the read-only workload but
+substantially softens the contention blow in the other two —
+readOwnTimeline throughput collapses under OCC (posts abort it) and BDB
+(writers block readers), while TARDiS branches and merges
+asynchronously, keeping goodput near 0.96 where BDB and OCC waste much
+of their time.
+"""
+
+import pytest
+
+from repro.apps.retwis import (
+    POST_HEAVY,
+    READ_HEAVY,
+    READ_ONLY,
+    RetwisWorkload,
+    retwis_merge_resolver,
+)
+from repro.sim.adapters import OCCAdapter, TardisAdapter, TwoPLAdapter
+from repro.workload import run_simulation
+
+from common import Report, config, run_once
+
+MIXES = [READ_ONLY, READ_HEAVY, POST_HEAVY]
+
+SYSTEMS = [
+    ("TARDiS", lambda: TardisAdapter(branching=True, merge_resolver=retwis_merge_resolver)),
+    ("BDB", TwoPLAdapter),
+    ("OCC", OCCAdapter),
+]
+
+
+def _measure():
+    results = {}
+    for mix in MIXES:
+        for name, factory in SYSTEMS:
+            results[(mix, name)] = run_simulation(
+                factory(),
+                RetwisWorkload(mix=mix, n_users=100, follows_per_user=10),
+                config(n_clients=16, maintenance_interval_ms=5),
+            )
+    return results
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14c_retwis_throughput(benchmark):
+    results = run_once(benchmark, _measure)
+    report = Report("fig14c", "Figure 14(c): Retwis throughput (txn/s)")
+    rows = []
+    for mix in MIXES:
+        row = [mix]
+        for name, _f in SYSTEMS:
+            row.append("%8.0f" % results[(mix, name)].throughput_tps)
+        rows.append(row)
+    report.table(["workload", "TARDiS", "BDB", "OCC"], rows, widths=[13, 11, 11, 11])
+    report.line()
+    ph = {name: results[(POST_HEAVY, name)].throughput_tps for name, _f in SYSTEMS}
+    report.line(
+        "post-heavy: TARDiS/BDB = %.2fx  TARDiS/OCC = %.2fx (paper: ~3x over both)"
+        % (ph["TARDiS"] / ph["BDB"], ph["TARDiS"] / ph["OCC"])
+    )
+
+    report.line()
+    report.line("Figure 14(d), Retwis columns: useful work fraction")
+    goodput_rows = []
+    for mix in (READ_HEAVY, POST_HEAVY):
+        row = ["Retwis-" + ("RH" if mix == READ_HEAVY else "PH")]
+        for name, _f in SYSTEMS:
+            row.append("%.2f" % results[(mix, name)].goodput)
+        goodput_rows.append(row)
+    report.table(["workload", "TARDiS", "BDB", "OCC"], goodput_rows, widths=[13, 11, 11, 11])
+    report.finish()
+
+    # Read-only: branching does not help (within noise of BDB).
+    ro = {name: results[(READ_ONLY, name)].throughput_tps for name, _f in SYSTEMS}
+    assert ro["TARDiS"] < 1.2 * ro["BDB"]
+    # Contended mixes: TARDiS on top.
+    for mix in (READ_HEAVY, POST_HEAVY):
+        by = {name: results[(mix, name)].throughput_tps for name, _f in SYSTEMS}
+        assert by["TARDiS"] > by["BDB"], mix
+        assert by["TARDiS"] > by["OCC"], mix
+    # Goodput: TARDiS maintains a much higher fraction of useful work.
+    for mix in (READ_HEAVY, POST_HEAVY):
+        g = {name: results[(mix, name)].goodput for name, _f in SYSTEMS}
+        assert g["TARDiS"] > 0.85
+        assert g["TARDiS"] > g["BDB"]
+        assert g["TARDiS"] > g["OCC"]

@@ -1,0 +1,87 @@
+"""Figure 9: baseline TARDiS vs BDB vs OCC (no local branching).
+
+Transactions use the Ancestor begin constraint and the union of
+Serializability and NoBranching as end constraint — the configuration
+that mimics sequential storage locally and causal consistency globally
+(§7.1.2). The paper's finding: TARDiS tracks full history yet performs
+within ~10% of BDB on both read-heavy and write-heavy workloads, while
+OCC lags on both (read-only validation on the read-heavy side, the long
+validation phase on the write-heavy side).
+"""
+
+import pytest
+
+from repro.workload import READ_HEAVY, WRITE_HEAVY, YCSBWorkload, sweep_clients
+
+from common import (
+    CLIENT_SWEEP,
+    N_KEYS,
+    Report,
+    SYSTEMS_NO_BRANCHING,
+    config,
+    fmt_tps,
+    run_once,
+)
+
+
+def _sweep(mix):
+    results = {}
+    for name, factory in SYSTEMS_NO_BRANCHING:
+        results[name] = sweep_clients(
+            factory,
+            lambda: YCSBWorkload(mix=mix, n_keys=N_KEYS, pattern="uniform"),
+            CLIENT_SWEEP,
+            config(),
+        )
+    return results
+
+
+def _report(panel, mix, results):
+    report = Report(
+        "fig9%s_%s" % (panel, mix),
+        "Figure 9(%s): throughput/latency, %s uniform, no local branching"
+        % (panel, mix),
+    )
+    report.line("(throughput in simulated txn/s; latency in simulated ms)")
+    header = ["clients"] + [
+        "%s tput | lat" % name for name, _f in SYSTEMS_NO_BRANCHING
+    ]
+    rows = []
+    for i, n in enumerate(CLIENT_SWEEP):
+        row = [str(n)]
+        for name, _f in SYSTEMS_NO_BRANCHING:
+            r = results[name][i]
+            row.append("%s | %6.3f" % (fmt_tps(r.throughput_tps), r.mean_latency_ms))
+        rows.append(row)
+    report.table(header, rows, widths=[9] + [26] * len(SYSTEMS_NO_BRANCHING))
+
+    peak = {
+        name: max(r.throughput_tps for r in results[name])
+        for name, _f in SYSTEMS_NO_BRANCHING
+    }
+    report.line()
+    report.line("peak throughput: " + "  ".join("%s=%.0f" % kv for kv in peak.items()))
+    report.line(
+        "TARDiS/BDB = %.2f (paper: ~0.9, within 10%%)   OCC/BDB = %.2f (paper: behind both)"
+        % (peak["TARDiS"] / peak["BDB"], peak["OCC"] / peak["BDB"])
+    )
+    report.finish()
+    return peak
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9a_read_heavy(benchmark):
+    results = run_once(benchmark, lambda: _sweep(READ_HEAVY))
+    peak = _report("a", READ_HEAVY, results)
+    # Shape assertions from the paper.
+    assert 0.75 <= peak["TARDiS"] / peak["BDB"] <= 1.25
+    assert peak["OCC"] < peak["BDB"]
+    assert peak["OCC"] < peak["TARDiS"]
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9b_write_heavy(benchmark):
+    results = run_once(benchmark, lambda: _sweep(WRITE_HEAVY))
+    peak = _report("b", WRITE_HEAVY, results)
+    assert 0.75 <= peak["TARDiS"] / peak["BDB"] <= 1.3
+    assert peak["OCC"] < peak["BDB"]

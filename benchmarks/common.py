@@ -1,0 +1,111 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_*.py`` module regenerates one table or figure of the
+paper's evaluation (§7): it runs the experiment inside the
+pytest-benchmark harness, prints the same rows/series the paper
+reports, and writes them to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can cite them.
+
+Throughput numbers are *simulated* transactions per second (see
+DESIGN.md §1): absolute values are not comparable to the paper's
+testbed, but who-wins/by-what-factor/where-crossovers-fall are.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List
+
+from repro.sim.adapters import OCCAdapter, TardisAdapter, TwoPLAdapter
+from repro.workload import RunConfig
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: standard simulation scale for the microbenchmarks.
+CORES = 8
+DURATION_MS = 200.0
+WARMUP_MS = 30.0
+MAINTENANCE_MS = 5.0
+N_KEYS = 400
+CLIENT_SWEEP = [2, 4, 8, 16, 32]
+ELBOW_CLIENTS = 16
+
+
+def config(n_clients: int = ELBOW_CLIENTS, **overrides) -> RunConfig:
+    base = dict(
+        n_clients=n_clients,
+        duration_ms=DURATION_MS,
+        warmup_ms=WARMUP_MS,
+        cores=CORES,
+        seed=0,
+        maintenance_interval_ms=MAINTENANCE_MS,
+    )
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+def make_tardis(branching: bool = True, **kw) -> TardisAdapter:
+    return TardisAdapter(branching=branching, **kw)
+
+
+def make_bdb(**kw) -> TwoPLAdapter:
+    return TwoPLAdapter(**kw)
+
+
+def make_occ(**kw) -> OCCAdapter:
+    return OCCAdapter(**kw)
+
+
+SYSTEMS: List = [
+    ("TARDiS", lambda: make_tardis(branching=True)),
+    ("BDB", make_bdb),
+    ("OCC", make_occ),
+]
+
+SYSTEMS_NO_BRANCHING: List = [
+    ("TARDiS", lambda: make_tardis(branching=False)),
+    ("BDB", make_bdb),
+    ("OCC", make_occ),
+]
+
+
+class Report:
+    """Collects printable lines and persists them under results/."""
+
+    def __init__(self, name: str, title: str):
+        self.name = name
+        self.lines: List[str] = ["", "=" * 72, title, "=" * 72]
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, header: List[str], rows: List[List], widths=None) -> None:
+        widths = widths or [max(12, len(h) + 2) for h in header]
+        fmt = "".join("%%-%ds" % w for w in widths)
+        self.line(fmt % tuple(header))
+        self.line("-" * sum(widths))
+        for row in rows:
+            self.line(fmt % tuple(row))
+
+    def finish(self) -> str:
+        text = "\n".join(self.lines) + "\n"
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, self.name + ".txt"), "w") as handle:
+            handle.write(text)
+        print(text)
+        return text
+
+
+def run_once(benchmark: Callable, experiment: Callable):
+    """Run ``experiment`` once under pytest-benchmark's timer."""
+    return benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+
+def fmt_tps(value: float) -> str:
+    return "%8.0f" % value
+
+
+def ratio(a: float, b: float) -> str:
+    if b <= 0:
+        return "inf"
+    return "%.2fx" % (a / b)

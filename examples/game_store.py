@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The §5.2 online game store (Figure 4): cross-object merge logic.
+
+Alice and Bruno both buy the last copy of a board game on different
+branches; Bruno also buys the expansion pack, which is only playable
+with the game. At merge time the stock counter is reconciled three-way,
+the oversell is detected, and the application — not the storage layer —
+decides the outcome: Bruno (the bigger cart) keeps game + expansion,
+Alice's cart is emptied with an apology, and the invariant "no expansion
+without its game" holds throughout.
+
+Run:  python examples/game_store.py
+"""
+
+from repro import TardisStore
+from repro.apps.shopping import GameStore
+
+
+def main() -> None:
+    store = TardisStore("shop")
+    shop = GameStore(store)
+    shop.stock_item("boardgame", 1)
+    shop.stock_item("expansion", 5, requires="boardgame")
+    print("stocked: 1x boardgame, 5x expansion (requires boardgame)\n")
+
+    # Concurrent purchases of the last copy, as if from two sites: both
+    # transactions read stock=1 before either commits.
+    t_alice = store.begin(session=store.session("shop:alice"))
+    t_bruno = store.begin(session=store.session("shop:bruno"))
+    for txn, customer in ((t_alice, "alice"), (t_bruno, "bruno")):
+        stock = txn.get("item:boardgame:stock")
+        txn.put("item:boardgame:stock", stock - 1)
+        txn.put("cart:%s" % customer, ("boardgame",))
+        txn.put("item:boardgame:carts",
+                txn.get("item:boardgame:carts") | {customer})
+    t_alice.commit()
+    t_bruno.commit()
+    print("both bought the last copy -> %d branches" % len(store.dag.leaves()))
+
+    # Bruno additionally buys the expansion on his branch.
+    assert shop.buy("bruno", "expansion")
+    print("bruno also bought the expansion on his branch")
+    print("  alice's branch: cart=%s" % (shop.cart("alice"),))
+    print("  bruno's branch: cart=%s" % (shop.cart("bruno"),))
+
+    # The merge: maximize overall profit (keep the bigger cart).
+    losers = shop.merge(cart_value={"alice": 10, "bruno": 60})
+    print("\nmerge resolved the oversell; apologized to:", losers)
+    print("  stock(boardgame) =", shop.stock("boardgame"))
+    print("  alice: cart=%s apology=%s" % (shop.cart("alice"), shop.apologized_to("alice")))
+    print("  bruno: cart=%s apology=%s" % (shop.cart("bruno"), shop.apologized_to("bruno")))
+
+    # Invariant check: nobody holds an expansion without the game.
+    for customer in ("alice", "bruno"):
+        cart = shop.cart(customer)
+        assert "expansion" not in cart or "boardgame" in cart
+    print("\ninvariant holds: no expansion without its board game")
+
+
+if __name__ == "__main__":
+    main()

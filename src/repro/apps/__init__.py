@@ -1,0 +1,23 @@
+"""ALPS applications from the paper (§2, §5.2, §7.2.2).
+
+* :mod:`repro.apps.retwis` — the Twitter clone used for Figure 14(c,d):
+  accounts, follows, posts pushed to follower timelines, and the
+  branch-merge resolver that reconciles timelines.
+* :mod:`repro.apps.shopping` — the §5.2 online game store: carts,
+  stock counters, oversell resolution at merge time (Figure 4).
+* :mod:`repro.apps.wiki` — the §2 weakly-consistent Wikipedia scenario
+  (Figure 1): the write-skew anomaly and its branch-based resolution.
+"""
+
+from repro.apps.retwis import RetwisApp, RetwisWorkload, retwis_merge_resolver
+from repro.apps.shopping import GameStore
+from repro.apps.wiki import WikiPage, run_banditoni_scenario
+
+__all__ = [
+    "RetwisApp",
+    "RetwisWorkload",
+    "retwis_merge_resolver",
+    "GameStore",
+    "WikiPage",
+    "run_banditoni_scenario",
+]

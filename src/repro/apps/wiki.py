@@ -1,0 +1,180 @@
+"""The weakly-consistent Wikipedia scenario of §2 (Figure 1).
+
+A page about the controversial Mr. Banditoni consists of three objects —
+content, references, image — replicated at two sites. Alice (site A) and
+Bruno (site B) write conflicting content; Carlo and Davide then read
+their local site's content and update the references and image *to
+match* it. Nothing violates causal consistency, yet once the sites
+exchange operations the page is incoherent: the content has a
+write-write conflict, and the references and image disagree purely
+semantically (no conflict on either key!).
+
+On TARDiS the two editing sessions are two branches. The conflict
+tracker reports only ``content`` as conflicting, but the branches carry
+the *context*: a moderator reads each branch as a coherent page and
+resolves the whole page atomically in one merge transaction — exactly
+the capability §2 argues per-object resolution cannot offer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.store import TardisStore
+from repro.replication import Cluster
+
+
+@dataclass
+class PageVersion:
+    """A coherent snapshot of the page on one branch."""
+
+    content: str
+    references: str
+    image: str
+
+    def coherent(self) -> bool:
+        """All three objects argue the same side."""
+        sides = {side_of(self.content), side_of(self.references), side_of(self.image)}
+        sides.discard("neutral")
+        return len(sides) <= 1
+
+
+def side_of(text: str) -> str:
+    if "pro" in text:
+        return "pro"
+    if "anti" in text:
+        return "anti"
+    return "neutral"
+
+
+class WikiPage:
+    """The three-object page over one TARDiS site."""
+
+    def __init__(self, store: TardisStore, page: str = "banditoni"):
+        self.store = store
+        self.page = page
+
+    def _key(self, part: str) -> str:
+        return "wiki:%s:%s" % (self.page, part)
+
+    def initialize(self, content: str, references: str, image: str) -> None:
+        with self.store.begin(session=self.store.session("wiki:init")) as txn:
+            txn.put(self._key("content"), content)
+            txn.put(self._key("references"), references)
+            txn.put(self._key("image"), image)
+
+    def edit(self, editor: str, part: str, new_text: str) -> None:
+        with self.store.begin(session=self.store.session("wiki:%s" % editor)) as txn:
+            txn.get(self._key(part))  # read-modify-write
+            txn.put(self._key(part), new_text)
+
+    def edit_to_match_content(self, editor: str, part: str, make_text) -> None:
+        """Read the content, update ``part`` to agree with it (Carlo/Davide)."""
+        with self.store.begin(session=self.store.session("wiki:%s" % editor)) as txn:
+            content = txn.get(self._key("content"))
+            txn.put(self._key(part), make_text(content))
+
+    def read(self, reader: str = "reader") -> PageVersion:
+        txn = self.store.begin(
+            session=self.store.session("wiki:%s" % reader), read_only=True
+        )
+        page = PageVersion(
+            content=txn.get(self._key("content")),
+            references=txn.get(self._key("references")),
+            image=txn.get(self._key("image")),
+        )
+        txn.commit()
+        return page
+
+    def branch_versions(self) -> List[PageVersion]:
+        """One coherent page snapshot per current branch."""
+        merge = self.store.begin_merge(session=self.store.session("wiki:inspect"))
+        versions = []
+        for head in merge.parents:
+            versions.append(
+                PageVersion(
+                    content=merge.get_for_id(self._key("content"), head),
+                    references=merge.get_for_id(self._key("references"), head),
+                    image=merge.get_for_id(self._key("image"), head),
+                )
+            )
+        merge.abort()
+        return versions
+
+    def moderate(self, choose) -> PageVersion:
+        """Atomically resolve the whole page: ``choose(versions)`` picks
+        (or constructs) the winning PageVersion (the moderator role)."""
+        merge = self.store.begin_merge(session=self.store.session("wiki:moderator"))
+        versions = []
+        for head in merge.parents:
+            versions.append(
+                PageVersion(
+                    content=merge.get_for_id(self._key("content"), head),
+                    references=merge.get_for_id(self._key("references"), head),
+                    image=merge.get_for_id(self._key("image"), head),
+                )
+            )
+        resolved = choose(versions)
+        merge.put(self._key("content"), resolved.content)
+        merge.put(self._key("references"), resolved.references)
+        merge.put(self._key("image"), resolved.image)
+        merge.commit()
+        return resolved
+
+
+def run_banditoni_scenario(
+    latency_ms: float = 20.0,
+) -> Dict[str, object]:
+    """Replay Figure 1 end to end on a two-site cluster.
+
+    Returns the incoherent naive view (deterministic-writer-wins style
+    flattening), the per-branch coherent views, and the moderated result.
+    """
+    cluster = Cluster(sites=["A", "B"], default_latency_ms=latency_ms)
+    site_a, site_b = cluster.stores["A"], cluster.stores["B"]
+    page_a, page_b = WikiPage(site_a), WikiPage(site_b)
+
+    page_a.initialize("neutral stub", "neutral refs", "neutral portrait")
+    cluster.run(until=latency_ms * 4)
+
+    # (b) Alice and Bruno edit the content concurrently.
+    page_a.edit("alice", "content", "pro-banditoni manifesto")
+    page_b.edit("bruno", "content", "anti-banditoni expose")
+    # (c) Carlo and Davide align references / image with what they read.
+    page_a.edit_to_match_content(
+        "carlo", "references", lambda c: "%s references" % side_of(c)
+    )
+    page_b.edit_to_match_content(
+        "davide", "image", lambda c: "%s caricature" % side_of(c)
+    )
+    # (d) Operations reach the other site.
+    cluster.run(until=latency_ms * 20)
+
+    branches = page_a.branch_versions()
+    # The "syntactic flattening" a DWW store would produce: newest value
+    # per object, regardless of branch.
+    merge = site_a.begin_merge(session=site_a.session("wiki:naive"))
+    naive = PageVersion(
+        content=max(
+            (
+                (sid, v)
+                for sid, v in site_a._read_candidates(
+                    "wiki:banditoni:content", merge.read_states, merge.trace
+                )
+            ),
+        )[1],
+        references=merge.get_all("wiki:banditoni:references")[0],
+        image=merge.get_all("wiki:banditoni:image")[0],
+    )
+    merge.abort()
+
+    moderated = page_a.moderate(lambda versions: max(versions, key=lambda v: v.content))
+    cluster.run(until=latency_ms * 40)
+    return {
+        "branches": branches,
+        "naive": naive,
+        "moderated": moderated,
+        "converged": cluster.converged("wiki:banditoni:content"),
+        "cluster": cluster,
+    }

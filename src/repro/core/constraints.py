@@ -1,0 +1,312 @@
+"""Begin and end constraints (Table 1, §5.1, §6.1).
+
+TARDiS reformulates isolation levels and session guarantees as predicates
+attached to ``begin`` and ``commit``:
+
+* a **begin constraint** selects which states qualify as the
+  transaction's read state (evaluated during the leaves-up BFS);
+* an **end constraint** controls the commit "ripple": starting from the
+  read state, the transaction descends through children for as long as
+  each passed state is *compatible* with it, and the final candidate must
+  additionally pass the constraint's *commit-site* predicate.
+
+The compatibility half encodes isolation (Serializability: no passed
+state wrote anything the transaction read; Snapshot Isolation: no passed
+state wrote anything the transaction writes), while the commit-site half
+encodes branching control (No Branching, K-Branching). Constraints
+compose with ``&`` (intersection — both must hold; the paper's "union of
+the Serializability and No Branching constraint" is this conjunction of
+requirements) and ``|`` (either suffices).
+
+The paper's defaults — ``Ancestor`` begin, ``Serializability`` end — give
+per-branch serializability with read-my-writes; adding ``NoBranching``
+turns local conflicts back into aborts, mimicking sequential storage.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Tuple
+
+from repro.core.ids import StateId
+from repro.core.state_dag import State
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.transaction import BaseTransaction
+
+
+class Constraint:
+    """Base class: a predicate usable at begin and/or commit time."""
+
+    #: human-readable name used in benchmark output.
+    name = "constraint"
+    can_begin = False
+    can_end = False
+
+    # Begin side -----------------------------------------------------------
+
+    def satisfied_as_read_state(self, state: State, txn: "BaseTransaction") -> bool:
+        """May ``state`` be the transaction's read state?"""
+        raise NotImplementedError("%s is not a begin constraint" % self.name)
+
+    # End side --------------------------------------------------------------
+
+    def allows_ripple_past(self, state: State, txn: "BaseTransaction") -> bool:
+        """May the committing transaction be serialized after ``state``?"""
+        raise NotImplementedError("%s is not an end constraint" % self.name)
+
+    def allows_commit_at(self, state: State, txn: "BaseTransaction") -> bool:
+        """May the transaction commit as a (new) child of ``state``?"""
+        raise NotImplementedError("%s is not an end constraint" % self.name)
+
+    # Composition -----------------------------------------------------------
+
+    def __and__(self, other: "Constraint") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Constraint") -> "Or":
+        return Or(self, other)
+
+    def __repr__(self) -> str:
+        return "<%s>" % self.name
+
+
+class AnyConstraint(Constraint):
+    """Always satisfied (Table 1: 'Any')."""
+
+    name = "Any"
+    can_begin = True
+    can_end = True
+
+    def satisfied_as_read_state(self, state, txn) -> bool:
+        return True
+
+    def allows_ripple_past(self, state, txn) -> bool:
+        return True
+
+    def allows_commit_at(self, state, txn) -> bool:
+        return True
+
+
+class SerializabilityConstraint(Constraint):
+    """Guarantees serializability within the branch (end constraint).
+
+    The transaction may ripple past a state only when that state's write
+    set is disjoint from the transaction's read set — i.e. everything the
+    transaction read is still current at the commit point, the classic
+    backward validation. Unlike OCC, only the children of the chosen read
+    state's branch are checked, never the whole set of concurrent
+    committers (§7.1.2).
+    """
+
+    name = "Serializability"
+    can_end = True
+
+    def allows_ripple_past(self, state, txn) -> bool:
+        return not (state.write_keys & txn.read_keys)
+
+    def allows_commit_at(self, state, txn) -> bool:
+        return True
+
+
+class SnapshotIsolationConstraint(Constraint):
+    """Guarantees snapshot isolation within the branch (end constraint).
+
+    First-committer-wins: the transaction may not ripple past a state
+    that wrote any key the transaction also writes.
+    """
+
+    name = "SnapshotIsolation"
+    can_end = True
+
+    def allows_ripple_past(self, state, txn) -> bool:
+        return not (state.write_keys & txn.write_keys)
+
+    def allows_commit_at(self, state, txn) -> bool:
+        return True
+
+
+class ReadCommittedConstraint(Constraint):
+    """Guarantees read committed (Table 1).
+
+    Every state in the DAG reflects only committed transactions, so any
+    read state qualifies and the commit may ripple arbitrarily far.
+    """
+
+    name = "ReadCommitted"
+    can_begin = True
+    can_end = True
+
+    def satisfied_as_read_state(self, state, txn) -> bool:
+        return True
+
+    def allows_ripple_past(self, state, txn) -> bool:
+        return True
+
+    def allows_commit_at(self, state, txn) -> bool:
+        return True
+
+
+class NoBranchingConstraint(Constraint):
+    """State has no children (Table 1): never create a branch.
+
+    As an end constraint this turns conflicts into aborts — combined with
+    ``Serializability`` it mimics a traditional sequential store (§5.1).
+    """
+
+    name = "NoBranching"
+    can_begin = True
+    can_end = True
+
+    def satisfied_as_read_state(self, state, txn) -> bool:
+        return state.is_leaf
+
+    def allows_ripple_past(self, state, txn) -> bool:
+        return True
+
+    def allows_commit_at(self, state, txn) -> bool:
+        return state.is_leaf
+
+
+class KBranchingConstraint(Constraint):
+    """State has fewer than k-1 children (Table 1).
+
+    Bounds the local branching degree: with ``k=2`` it reduces to
+    ``NoBranching``; larger ``k`` trades merge complexity for the
+    performance of branch-on-conflict (§5.1).
+    """
+
+    name = "KBranching"
+    can_begin = True
+    can_end = True
+
+    def __init__(self, k: int):
+        if k < 2:
+            raise ValueError("k must be >= 2")
+        self.k = k
+        self.name = "KBranching(%d)" % k
+
+    def _ok(self, state: State) -> bool:
+        return len(state.children) < self.k - 1
+
+    def satisfied_as_read_state(self, state, txn) -> bool:
+        return self._ok(state)
+
+    def allows_ripple_past(self, state, txn) -> bool:
+        return True
+
+    def allows_commit_at(self, state, txn) -> bool:
+        return self._ok(state)
+
+
+class ParentConstraint(Constraint):
+    """State where the client last committed (Table 1, begin constraint).
+
+    Behaves like a private Git branch: the client only ever sees its own
+    operations (§7.1.4).
+    """
+
+    name = "Parent"
+    can_begin = True
+
+    def satisfied_as_read_state(self, state, txn) -> bool:
+        return state.id == txn.session.last_commit_id
+
+
+class AncestorConstraint(Constraint):
+    """Child of (descendant of) the client's last committed state.
+
+    The paper's default begin constraint: the client sees its own writes
+    plus those of any non-conflicting clients (§5.1).
+    """
+
+    name = "Ancestor"
+    can_begin = True
+
+    def satisfied_as_read_state(self, state, txn) -> bool:
+        anchor = txn.session.last_commit_state()
+        return txn.dag.descendant_check(anchor, state)
+
+
+class StateIdConstraint(Constraint):
+    """State id matches one of the specified ids (Table 1).
+
+    Used by the replicator: a replicated transaction carries the id of
+    the state it must be applied to, reducing dependency checking to a
+    constant-time lookup (§6.4). As an end constraint it forbids
+    rippling: the transaction commits exactly at its read state.
+    """
+
+    name = "StateID"
+    can_begin = True
+    can_end = True
+
+    def __init__(self, state_ids: Iterable[StateId]):
+        self.state_ids: Tuple[StateId, ...] = tuple(state_ids)
+
+    def satisfied_as_read_state(self, state, txn) -> bool:
+        return state.id in self.state_ids
+
+    def allows_ripple_past(self, state, txn) -> bool:
+        return False
+
+    def allows_commit_at(self, state, txn) -> bool:
+        return state.id in self.state_ids
+
+
+class _Composite(Constraint):
+    def __init__(self, *parts: Constraint):
+        if len(parts) < 2:
+            raise ValueError("composite constraints need >= 2 parts")
+        self.parts = parts
+
+    @property
+    def can_begin(self) -> bool:  # type: ignore[override]
+        return all(p.can_begin for p in self.parts)
+
+    @property
+    def can_end(self) -> bool:  # type: ignore[override]
+        return all(p.can_end for p in self.parts)
+
+
+class And(_Composite):
+    """Intersection: all constraints must hold."""
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "(" + " & ".join(p.name for p in self.parts) + ")"
+
+    def satisfied_as_read_state(self, state, txn) -> bool:
+        return all(p.satisfied_as_read_state(state, txn) for p in self.parts)
+
+    def allows_ripple_past(self, state, txn) -> bool:
+        return all(p.allows_ripple_past(state, txn) for p in self.parts)
+
+    def allows_commit_at(self, state, txn) -> bool:
+        return all(p.allows_commit_at(state, txn) for p in self.parts)
+
+
+class Or(_Composite):
+    """Union: any one constraint suffices."""
+
+    @property
+    def can_begin(self) -> bool:  # type: ignore[override]
+        return any(p.can_begin for p in self.parts)
+
+    @property
+    def can_end(self) -> bool:  # type: ignore[override]
+        return any(p.can_end for p in self.parts)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "(" + " | ".join(p.name for p in self.parts) + ")"
+
+    def satisfied_as_read_state(self, state, txn) -> bool:
+        return any(
+            p.can_begin and p.satisfied_as_read_state(state, txn) for p in self.parts
+        )
+
+    def allows_ripple_past(self, state, txn) -> bool:
+        return any(p.can_end and p.allows_ripple_past(state, txn) for p in self.parts)
+
+    def allows_commit_at(self, state, txn) -> bool:
+        return any(p.can_end and p.allows_commit_at(state, txn) for p in self.parts)

@@ -1,0 +1,91 @@
+"""Fork points and fork paths (§6.1.3, Figures 5 and 7).
+
+TARDiS abandons per-operation dependency tracking and summarizes a branch
+by its *fork points*. A fork point is a pair ``(i, b)`` meaning "this
+state is a descendant of the b-th child of state i". The set of fork
+points accumulated along a branch is its *fork path*, and the ancestry
+test of Figure 7 reduces to a subset check:
+
+    state ``y`` can see records written at state ``x`` iff
+    ``x.id == y.id``, or ``x.id < y.id`` and ``x.path ⊆ y.path``.
+
+Fork paths stay small because conflicts are a small fraction of all
+operations, which is what makes TARDiS reads cheap compared to causal
+dependency checking (§6.1.3).
+
+Merge states take the *union* of their parents' fork paths: carrying both
+``(i, b1)`` and ``(i, b2)`` is precisely what makes the records of both
+merged branches visible downstream of the merge.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, NamedTuple, Tuple
+
+from repro.core.ids import StateId
+
+
+class ForkPoint(NamedTuple):
+    """One branching decision: descendant of child ``branch`` of ``state_id``."""
+
+    state_id: StateId
+    branch: int
+
+    def __repr__(self) -> str:
+        return "(%r,%d)" % (self.state_id, self.branch)
+
+
+class ForkPath:
+    """An immutable set of fork points with subset/union operations."""
+
+    __slots__ = ("_points",)
+
+    EMPTY: "ForkPath"
+
+    def __init__(self, points: Iterable[ForkPoint] = ()):
+        self._points: FrozenSet[ForkPoint] = frozenset(points)
+
+    @property
+    def points(self) -> FrozenSet[ForkPoint]:
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[ForkPoint]:
+        return iter(self._points)
+
+    def __contains__(self, point: ForkPoint) -> bool:
+        return point in self._points
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ForkPath) and self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    def __repr__(self) -> str:
+        inner = "".join(repr(p) for p in sorted(self._points))
+        return "{%s}" % inner
+
+    def issubset(self, other: "ForkPath") -> bool:
+        return self._points <= other._points
+
+    def add(self, point: ForkPoint) -> "ForkPath":
+        """A new path with ``point`` added."""
+        if point in self._points:
+            return self
+        return ForkPath(self._points | {point})
+
+    def union(self, *others: "ForkPath") -> "ForkPath":
+        points = self._points
+        for other in others:
+            points = points | other._points
+        return ForkPath(points)
+
+    def branch_choices(self) -> Tuple[Tuple[StateId, int], ...]:
+        """Fork points sorted by fork-state id (oldest first)."""
+        return tuple(sorted(self._points))
+
+
+ForkPath.EMPTY = ForkPath()

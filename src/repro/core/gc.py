@@ -1,0 +1,229 @@
+"""Garbage collection: ceilings, DAG compression, record promotion (§6.3).
+
+TARDiS stores, by default, *all* stale and parallel versions and states.
+To keep space overhead comparable to history-free stores it runs an
+aggressive three-pronged collection (Figure 8):
+
+1. **Ceiling marking** (bottom-up): clients place ceilings — promises to
+   never again use a state preceding the ceiling as a read state. States
+   that every ceiling-placing client has moved past are *marked* and can
+   no longer be selected as read states.
+2. **Safe-to-gc** (top-down): a marked state is safe when it is not
+   pinned as a read state by an executing transaction and all its
+   ancestors are safe — guaranteeing committing transactions never
+   ripple down into deleted states and that deletion proceeds
+   oldest-first.
+3. **Collection**: safe states that are not fork points (and not
+   leaves) are *promoted* — their single distinct child takes over their
+   identity via the promotion table — and spliced out of the DAG.
+
+Record promotion then rewrites record versions of deleted states to
+their promoted identity and discards all but the newest of versions that
+collapsed onto the same state, so that only current and fork-point
+versions remain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+from repro.core.ids import StateId
+from repro.errors import GarbageCollectedError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.store import TardisStore
+
+
+@dataclass
+class GCStats:
+    """Result of one collection cycle."""
+
+    marked: int = 0
+    safe: int = 0
+    states_removed: int = 0
+    records_promoted: int = 0
+    records_dropped: int = 0
+    promotions_flushed: int = 0
+    fork_entries_scrubbed: int = 0
+    #: live counts after the cycle
+    live_states: int = 0
+    live_records: int = 0
+
+
+class GarbageCollector:
+    """The garbage collector unit of one TARDiS site (Figure 2)."""
+
+    def __init__(self, store: "TardisStore"):
+        self._store = store
+        self._ceilings: Dict[str, StateId] = {}
+        self.cycles = 0
+        #: hook used by replicated pessimistic GC: called with the set of
+        #: candidate state ids; must return the subset we may collect.
+        self.consent_filter = None
+
+    @property
+    def ceilings(self) -> Dict[str, StateId]:
+        return dict(self._ceilings)
+
+    def place_ceiling(self, client: str, state_id: StateId) -> None:
+        """Record ``client``'s promise never to read above ``state_id``."""
+        self._ceilings[client] = state_id
+
+    def clear_ceiling(self, client: str) -> None:
+        self._ceilings.pop(client, None)
+
+    def collect(self, flush_promotions: bool = False) -> GCStats:
+        """Run one full cycle: mark, safe-to-gc, splice, promote records.
+
+        ``flush_promotions`` additionally drops promotion-table entries
+        once the record-promotion pass has rewritten every reference —
+        after which looking up a collected state fails outright, the
+        situation optimistic replicated GC resolves by refetching from a
+        peer (§6.4).
+        """
+        stats = GCStats()
+        store = self._store
+        dag = store.dag
+        with store._lock:
+            self.cycles += 1
+            marked = self._mark_pass(stats)
+            if marked:
+                self._safe_pass(stats)
+                self._collect_pass(stats)
+            promoted, dropped = store.versions.promote_and_prune(dag)
+            stats.records_promoted = promoted
+            stats.records_dropped = dropped
+            if flush_promotions:
+                flushed = dag.promotion_table_size
+                dag.forget_promotions(list(self._all_promotion_ids()))
+                stats.promotions_flushed = flushed - dag.promotion_table_size
+            stats.live_states = len(dag)
+            stats.live_records = store.versions.num_records()
+        return stats
+
+    # -- pass 1: ceiling marking (bottom-up) --------------------------------
+
+    def _mark_pass(self, stats: GCStats) -> bool:
+        """Mark states above *every* client's ceiling.
+
+        A state is only unreadable once every ceiling-placing client has
+        promised to stay below it, so the marked set is the intersection
+        of the strict-ancestor sets of all ceilings.
+        """
+        dag = self._store.dag
+        if not self._ceilings:
+            return False
+        common: Optional[Set[StateId]] = None
+        for state_id in self._ceilings.values():
+            try:
+                ceiling = dag.resolve(state_id)
+            except GarbageCollectedError:
+                continue  # ceiling itself was absorbed by a newer one
+            ancestors = self._strict_ancestors(ceiling)
+            common = ancestors if common is None else (common & ancestors)
+            if not common:
+                return False
+        if not common:
+            return False
+        for sid in common:
+            state = dag.get(sid)
+            if state is not None and not state.marked:
+                state.marked = True
+        stats.marked = sum(1 for s in dag.states() if s.marked)
+        return True
+
+    def _strict_ancestors(self, state) -> Set[StateId]:
+        seen: Set[StateId] = set()
+        stack = list(state.parents)
+        while stack:
+            current = stack.pop()
+            if current.id in seen:
+                continue
+            seen.add(current.id)
+            stack.extend(current.parents)
+        return seen
+
+    # -- pass 2: safe-to-gc (top-down) ----------------------------------------
+
+    def _safe_pass(self, stats: GCStats) -> None:
+        dag = self._store.dag
+        for state in sorted(dag.states(), key=lambda s: s.id):
+            state.safe_to_gc = (
+                state.marked
+                and state.pins == 0
+                and all(p.safe_to_gc for p in state.parents)
+            )
+        stats.safe = sum(1 for s in dag.states() if s.safe_to_gc)
+
+    # -- pass 3: collection ------------------------------------------------------
+
+    def _collect_pass(self, stats: GCStats) -> None:
+        # Iterate to a fixpoint: a fork point whose branches fully
+        # collapse into their merge during this cycle becomes a
+        # single-child state and is collectable in the next sweep.
+        dag = self._store.dag
+        dead_forks: Set[StateId] = set()
+        while True:
+            candidates = [
+                s
+                for s in sorted(dag.states(), key=lambda s: s.id)
+                if s.safe_to_gc and s.children and not s.is_fork_point
+            ]
+            if self.consent_filter is not None:
+                allowed = self.consent_filter({s.id for s in candidates})
+                candidates = [s for s in candidates if s.id in allowed]
+            removed = 0
+            for state in candidates:
+                if dag.get(state.id) is not state:
+                    continue  # already spliced this sweep
+                if state.is_fork_point or not state.children:
+                    continue
+                if state.next_branch >= 2:
+                    # A former fork point whose branches fully collapsed:
+                    # once it is gone, every live state carries either
+                    # all of its fork-path entries (merge descendants) or
+                    # none (its ancestors), so the entries are scrubbable.
+                    dead_forks.add(state.id)
+                dag.splice_out(state)
+                removed += 1
+            stats.states_removed += removed
+            if not removed:
+                break
+        if dead_forks:
+            stats.fork_entries_scrubbed = self._scrub_paths(dead_forks)
+
+    def _scrub_paths(self, dead_forks: Set[StateId]) -> int:
+        """Drop fork-path entries that reference collapsed forks.
+
+        Keeps fork paths proportional to *live* conflicts, which is what
+        makes the Figure 7 subset check cheap over long executions
+        (§6.1.3).
+        """
+        from repro.core.fork_path import ForkPath
+
+        dag = self._store.dag
+        scrubbed = 0
+        for state in dag.states():
+            dead = [p for p in state.fork_path if p.state_id in dead_forks]
+            if dead:
+                state.fork_path = ForkPath(
+                    p for p in state.fork_path if p.state_id not in dead_forks
+                )
+                scrubbed += len(dead)
+        return scrubbed
+
+    def _all_promotion_ids(self):
+        dag = self._store.dag
+        # Promotion entries still referenced by a record version must
+        # survive the flush; everything else can go.
+        referenced: Set[StateId] = set()
+        for key in list(self._store.versions.keys()):
+            referenced.update(self._store.versions.versions_of(key))
+        for sid in list(_promotion_keys(dag)):
+            if sid not in referenced:
+                yield sid
+
+
+def _promotion_keys(dag):
+    return list(dag._promotions.keys())

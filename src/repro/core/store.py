@@ -1,0 +1,502 @@
+"""The TARDiS store: one site's branching transactional key-value store.
+
+Ties together the State DAG (consistency layer), the versioned record
+store (storage layer), the garbage collector, and the write-ahead log
+(§4, Figure 2). The replicator service lives in
+:mod:`repro.replication` and drives ``apply_remote``.
+
+Typical use::
+
+    store = TardisStore("siteA")
+    session = store.session("alice")
+
+    with store.begin(session=session) as t:
+        t.put("content", "for Banditoni")
+
+    # ... after branches diverged:
+    merge = store.begin_merge(session=session)
+    for key in merge.find_conflict_writes():
+        fork = merge.find_fork_points()[0]
+        base = merge.get_for_id(key, fork, default=None)
+        merge.put(key, resolve(base, merge.get_all(key)))
+    merge.commit()
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.constraints import (
+    AncestorConstraint,
+    AnyConstraint,
+    Constraint,
+    SerializabilityConstraint,
+    StateIdConstraint,
+)
+from repro.core.ids import ROOT_ID, StateId
+from repro.core.merge import MergeTransaction
+from repro.core.state_dag import State, StateDAG
+from repro.core.transaction import (
+    ABORTED,
+    ACTIVE,
+    COMMITTED,
+    OpTrace,
+    Transaction,
+    TOMBSTONE,
+    _NOT_FOUND,
+)
+from repro.core.versions import VersionedRecordStore
+from repro.errors import (
+    BeginError,
+    GarbageCollectedError,
+    TardisError,
+    TransactionAborted,
+)
+from repro.storage.wal import WriteAheadLog
+
+
+class ClientSession:
+    """Per-client context: the anchor for Parent/Ancestor constraints.
+
+    Tracks the state at which the client last committed; ``Ancestor``
+    reads any descendant of it (read-my-writes), ``Parent`` reads exactly
+    it (§5.1, Table 1).
+    """
+
+    def __init__(self, store: "TardisStore", name: str):
+        self._store = store
+        self.name = name
+        self.last_commit_id: StateId = store.dag.root.id
+
+    def last_commit_state(self) -> State:
+        return self._store.dag.resolve(self.last_commit_id)
+
+    def place_ceiling(self) -> None:
+        """Promise never to read above the last committed state (§6.3)."""
+        self._store.gc.place_ceiling(self.name, self.last_commit_id)
+
+    def __repr__(self) -> str:
+        return "<ClientSession %s @ %r>" % (self.name, self.last_commit_id)
+
+
+class StoreMetrics:
+    """Lifetime counters for one store."""
+
+    __slots__ = ("commits", "read_only_commits", "aborts", "forks", "merges", "remote_applied")
+
+    def __init__(self) -> None:
+        self.commits = 0
+        self.read_only_commits = 0
+        self.aborts = 0
+        self.forks = 0
+        self.merges = 0
+        self.remote_applied = 0
+
+
+class _ConstraintProbe:
+    """Minimal transaction-shaped object for evaluating begin constraints
+    before the transaction exists."""
+
+    __slots__ = ("session", "dag", "read_keys", "write_keys")
+
+    def __init__(self, session: ClientSession, dag: StateDAG):
+        self.session = session
+        self.dag = dag
+        self.read_keys: frozenset = frozenset()
+        self.write_keys: frozenset = frozenset()
+
+
+class TardisStore:
+    """One site of the TARDiS transactional key-value store."""
+
+    def __init__(
+        self,
+        site: str,
+        default_begin: Optional[Constraint] = None,
+        default_end: Optional[Constraint] = None,
+        wal_path: Optional[str] = None,
+        wal_sync: bool = True,
+        log_values: bool = True,
+        btree_degree: int = 16,
+        seed: Optional[int] = 0,
+        backend: str = "btree",
+    ):
+        self.site = site
+        #: paper defaults: Ancestor begin, Serializability end (§5.1).
+        self.default_begin = default_begin or AncestorConstraint()
+        self.default_end = default_end or SerializabilityConstraint()
+        self.dag = StateDAG(site)
+        self.versions = VersionedRecordStore(
+            btree_degree=btree_degree, seed=seed, backend=backend
+        )
+        self.metrics = StoreMetrics()
+        self._lock = threading.RLock()
+        self._sessions: Dict[str, ClientSession] = {}
+        self._session_counter = 0
+        self.wal: Optional[WriteAheadLog] = (
+            WriteAheadLog(wal_path, sync=wal_sync) if wal_path else None
+        )
+        self._log_values = log_values
+        # Imported here to avoid a cycle: gc.py imports store types.
+        from repro.core.gc import GarbageCollector
+
+        self.gc = GarbageCollector(self)
+        #: listeners notified of each local commit (the replicator hooks in).
+        self._commit_listeners: List = []
+
+    # -- sessions -----------------------------------------------------------
+
+    def session(self, name: Optional[str] = None) -> ClientSession:
+        if name is None:
+            self._session_counter += 1
+            name = "client-%d" % self._session_counter
+        existing = self._sessions.get(name)
+        if existing is not None:
+            return existing
+        sess = ClientSession(self, name)
+        self._sessions[name] = sess
+        return sess
+
+    def sessions(self) -> List[ClientSession]:
+        return list(self._sessions.values())
+
+    def close_session(self, name: str) -> None:
+        """Forget a client session and any ceiling it placed.
+
+        An inactive session's old ceiling would otherwise pin the entire
+        DAG above it forever (ceilings are intersected across clients,
+        §6.3).
+        """
+        self._sessions.pop(name, None)
+        self.gc.clear_ceiling(name)
+
+    # -- transaction lifecycle -------------------------------------------------
+
+    def begin(
+        self,
+        begin_constraint: Optional[Constraint] = None,
+        session: Optional[ClientSession] = None,
+        read_only: bool = False,
+    ) -> Transaction:
+        """Start a single-mode transaction (§6.1.1).
+
+        Selects the most recent unmarked state satisfying the begin
+        constraint by BFS from the leaves up; raises
+        :class:`~repro.errors.BeginError` when no state qualifies.
+        """
+        constraint = begin_constraint or self.default_begin
+        if not constraint.can_begin:
+            raise BeginError("%s cannot be used as a begin constraint" % constraint.name)
+        session = session or self.session()
+        with self._lock:
+            probe = _ConstraintProbe(session, self.dag)
+            visits = [0]
+            state = self.dag.find_read_state(
+                lambda s: constraint.satisfied_as_read_state(s, probe),
+                count_visits=visits,
+            )
+            if state is None:
+                raise BeginError(
+                    "no state satisfies begin constraint %s" % constraint.name
+                )
+            txn = Transaction(self, session, state, constraint, read_only=read_only)
+            txn.trace.begin_visits = visits[0]
+            state.pins += 1
+        return txn
+
+    def begin_merge(
+        self,
+        begin_constraint: Optional[Constraint] = None,
+        session: Optional[ClientSession] = None,
+        states: Optional[Iterable[StateId]] = None,
+    ) -> MergeTransaction:
+        """Start a merge transaction over several branches (§6.2).
+
+        By default the read states are all current (unmarked) leaves that
+        satisfy the begin constraint — the set of branch heads to be
+        reconciled. Pass ``states`` to merge an explicit set instead.
+        """
+        constraint = begin_constraint or AnyConstraint()
+        if not constraint.can_begin:
+            raise BeginError("%s cannot be used as a begin constraint" % constraint.name)
+        session = session or self.session()
+        with self._lock:
+            if states is not None:
+                read_states = [self.dag.resolve(sid) for sid in states]
+            else:
+                probe = _ConstraintProbe(session, self.dag)
+                read_states = [
+                    leaf
+                    for leaf in self.dag.leaves()
+                    if not leaf.marked and constraint.satisfied_as_read_state(leaf, probe)
+                ]
+            if not read_states:
+                raise BeginError(
+                    "no branches satisfy merge begin constraint %s" % constraint.name
+                )
+            txn = MergeTransaction(self, session, read_states, constraint)
+            for state in read_states:
+                state.pins += 1
+        return txn
+
+    def _finish(self, txn, status: str) -> None:
+        txn.status = status
+        for state in _read_states_of(txn):
+            if state.pins > 0:
+                state.pins -= 1
+
+    # -- reads (called by transactions) ------------------------------------------
+
+    def _read(self, key: Any, state: State, trace: OpTrace) -> Any:
+        scanned = [0]
+        hit = self.versions.read_visible(key, state, self.dag, scanned)
+        trace.versions_scanned += scanned[0]
+        if hit is None:
+            return _NOT_FOUND
+        return hit[1]
+
+    def _read_at(self, key: Any, state: State, trace: OpTrace) -> Optional[Tuple[StateId, Any]]:
+        scanned = [0]
+        hit = self.versions.read_visible(key, state, self.dag, scanned)
+        trace.versions_scanned += scanned[0]
+        return hit
+
+    def _read_candidates(self, key: Any, states: List[State], trace: OpTrace):
+        scanned = [0]
+        candidates = self.versions.read_candidates(key, states, self.dag, scanned)
+        trace.versions_scanned += scanned[0]
+        return candidates
+
+    def _conflict_writes(self, states: List[State]) -> List[Any]:
+        forks = self.dag.fork_points_of(states)
+        if not forks:
+            return []
+        fork = forks[0]
+        branch_writes = []
+        for head in states:
+            written: set = set()
+            for state in self.dag.states_between(head, fork):
+                written |= state.write_keys
+            branch_writes.append(written)
+        conflicting: set = set()
+        for i, left in enumerate(branch_writes):
+            for right in branch_writes[i + 1 :]:
+                conflicting |= left & right
+        return sorted(conflicting, key=repr)
+
+    # -- commit (§6.1.2) -----------------------------------------------------------
+
+    def _commit_single(self, txn: Transaction, end_constraint: Optional[Constraint]) -> StateId:
+        constraint = end_constraint or self.default_end
+        with self._lock:
+            if not txn.writes:
+                # Read-only transactions never conflict and are not added
+                # to the DAG (§6.1.4); anchor the session at the read
+                # state for monotonic reads.
+                self.metrics.read_only_commits += 1
+                txn.commit_id = txn.read_state.id
+                txn.session.last_commit_id = txn.read_state.id
+                self._finish(txn, COMMITTED)
+                return txn.commit_id
+            if not constraint.can_end:
+                self._finish(txn, ABORTED)
+                self.metrics.aborts += 1
+                raise TransactionAborted(
+                    "%s cannot be used as an end constraint" % constraint.name
+                )
+            # Ripple down from the read state (Figure 6).
+            current = txn.read_state
+            while True:
+                follow = None
+                for child in current.children:
+                    txn.trace.children_checked += 1
+                    if constraint.allows_ripple_past(child, txn):
+                        follow = child
+                        break
+                if follow is None:
+                    break
+                current = follow
+                txn.trace.ripple_steps += 1
+            if not constraint.allows_commit_at(current, txn):
+                self._finish(txn, ABORTED)
+                self.metrics.aborts += 1
+                raise TransactionAborted(
+                    "no commit state satisfies end constraint %s" % constraint.name
+                )
+            created_fork = bool(current.children)
+            state = self.dag.create_state(
+                [current],
+                read_keys=frozenset(txn.read_keys),
+                write_keys=frozenset(txn.writes),
+            )
+            self._install_writes(state, txn.writes, txn.trace)
+            txn.trace.created_fork = created_fork
+            self.metrics.commits += 1
+            if created_fork:
+                self.metrics.forks += 1
+            txn.commit_id = state.id
+            txn.session.last_commit_id = state.id
+            self._finish(txn, COMMITTED)
+            self._log_commit(state, txn.writes)
+        self._notify_commit(state, txn.writes)
+        return state.id
+
+    def _commit_merge(self, txn: MergeTransaction, end_constraint: Optional[Constraint]) -> StateId:
+        constraint = end_constraint or self.default_end
+        with self._lock:
+            if constraint.can_end:
+                for parent in txn.read_states:
+                    if not constraint.allows_commit_at(parent, txn):
+                        self._finish(txn, ABORTED)
+                        self.metrics.aborts += 1
+                        raise TransactionAborted(
+                            "merge parent %r fails end constraint %s"
+                            % (parent.id, constraint.name)
+                        )
+            state = self.dag.create_state(
+                txn.read_states,
+                read_keys=frozenset(txn.read_keys),
+                write_keys=frozenset(txn.writes),
+            )
+            self._install_writes(state, txn.writes, txn.trace)
+            self.metrics.commits += 1
+            self.metrics.merges += 1
+            txn.commit_id = state.id
+            txn.session.last_commit_id = state.id
+            self._finish(txn, COMMITTED)
+            self._log_commit(state, txn.writes)
+        self._notify_commit(state, txn.writes)
+        return state.id
+
+    def _install_writes(self, state: State, writes: Dict[Any, Any], trace: OpTrace) -> None:
+        for key, value in writes.items():
+            self.versions.write(key, state.id, value)
+            trace.writes_applied += 1
+
+    def _log_commit(self, state: State, writes: Dict[Any, Any]) -> None:
+        if self.wal is None:
+            return
+        self.wal.append_commit(
+            state.id,
+            tuple(p.id for p in state.parents),
+            tuple(writes.keys()),
+            values=dict(writes) if self._log_values else None,
+        )
+
+    # -- replication hooks (§6.4) -----------------------------------------------
+
+    def add_commit_listener(self, listener) -> None:
+        """``listener(state, writes)`` is called after each local commit."""
+        self._commit_listeners.append(listener)
+
+    def _notify_commit(self, state: State, writes: Dict[Any, Any]) -> None:
+        for listener in self._commit_listeners:
+            listener(state, writes)
+
+    def apply_remote(
+        self,
+        state_id: StateId,
+        parent_ids: Tuple[StateId, ...],
+        writes: Dict[Any, Any],
+        read_keys: Iterable[Any] = (),
+        write_keys: Optional[Iterable[Any]] = None,
+    ) -> Optional[StateId]:
+        """Apply a replicated transaction at its designated state (§6.4).
+
+        The StateID constraint of the paper: the transaction is appended
+        exactly under the states named by ``parent_ids`` (a constant-time
+        presence check replaces dependency tracking). Raises
+        :class:`~repro.errors.GarbageCollectedError` / ``KeyError`` when a
+        parent is missing, in which case the replicator caches the
+        transaction for later. Returns None when the state was already
+        present (duplicate gossip delivery).
+        """
+        with self._lock:
+            if state_id in self.dag:
+                return None
+            parents = []
+            for pid in parent_ids:
+                if pid not in self.dag:
+                    if pid == ROOT_ID:
+                        # Every site shares the original empty state; if
+                        # local GC flushed it, the current root subsumes
+                        # its identity.
+                        parents.append(self.dag.root)
+                        continue
+                    raise KeyError(pid)
+                parents.append(self.dag.resolve(pid))
+            if not parents:
+                # The state was the sender's root (its own ancestors were
+                # compressed away): graft it at the local root.
+                parents.append(self.dag.root)
+            if any(p.id >= state_id for p in parents):
+                # Grafting under a promoted parent would break the
+                # id-monotonicity invariant that visibility checks rely
+                # on; the paper aborts transactions that need states an
+                # erroneous ceiling collected (§6.4).
+                raise GarbageCollectedError(state_id)
+            state = self.dag.create_state(
+                parents,
+                read_keys=frozenset(read_keys),
+                write_keys=frozenset(write_keys if write_keys is not None else writes),
+                state_id=state_id,
+            )
+            trace = OpTrace()
+            self._install_writes(state, writes, trace)
+            self.metrics.remote_applied += 1
+            self._log_commit(state, writes)
+        return state.id
+
+    # -- convenience autocommit helpers ----------------------------------------
+
+    def put(self, key: Any, value: Any, session: Optional[ClientSession] = None) -> StateId:
+        """Single-write autocommit transaction."""
+        txn = self.begin(session=session)
+        txn.put(key, value)
+        return txn.commit()
+
+    def get(self, key: Any, default: Any = None, session: Optional[ClientSession] = None) -> Any:
+        """Single-read autocommit transaction."""
+        txn = self.begin(session=session, read_only=True)
+        try:
+            value = txn.get(key, default=default)
+        finally:
+            if txn.status == ACTIVE:
+                txn.commit()
+        return value
+
+    # -- maintenance --------------------------------------------------------------
+
+    def collect_garbage(self, flush_promotions: bool = False):
+        """Run one full garbage-collection cycle (§6.3)."""
+        return self.gc.collect(flush_promotions=flush_promotions)
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+
+    def __repr__(self) -> str:
+        return "<TardisStore site=%s states=%d records=%d>" % (
+            self.site,
+            len(self.dag),
+            self.versions.num_records(),
+        )
+
+
+def _read_states_of(txn) -> List[State]:
+    if isinstance(txn, MergeTransaction):
+        return txn.read_states
+    return [txn.read_state]
+
+
+# Re-exported for convenience so applications can do
+# ``from repro.core.store import TardisStore, TOMBSTONE``.
+__all__ = [
+    "TardisStore",
+    "ClientSession",
+    "StoreMetrics",
+    "TOMBSTONE",
+    "StateIdConstraint",
+    "TardisError",
+]

@@ -1,0 +1,192 @@
+"""Single-mode transactions (§5.1, §6.1).
+
+In single mode the programmer reads from and writes to one branch and
+programming proceeds exactly as against sequential storage: ``begin``
+selects a read state satisfying the begin constraint, ``get``/``put``
+operate against that snapshot plus the transaction's own writes, and
+``commit`` ripples down the branch to the most recent state satisfying
+the end constraint — forking the state instead of aborting when another
+transaction got there first (branch-on-conflict).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Optional, Set, TYPE_CHECKING
+
+from repro.core.ids import StateId
+from repro.core.state_dag import State, StateDAG
+from repro.errors import (
+    KeyNotFound,
+    ReadOnlyViolation,
+    TransactionClosed,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.constraints import Constraint
+    from repro.core.store import ClientSession, TardisStore
+
+
+class _Tombstone:
+    """Marker stored by ``delete``: the key has no value on this branch."""
+
+    def __repr__(self) -> str:
+        return "<tombstone>"
+
+
+TOMBSTONE = _Tombstone()
+
+ACTIVE = "active"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+_RAISE = object()
+
+
+class OpTrace:
+    """Work counters for one transaction, consumed by the cost model.
+
+    The discrete-event simulation charges time proportional to the real
+    work the data structures performed: states visited by the begin BFS,
+    versions scanned by reads, ripple steps and conflict checks at
+    commit. Nothing here affects semantics.
+    """
+
+    __slots__ = (
+        "begin_visits",
+        "versions_scanned",
+        "ripple_steps",
+        "children_checked",
+        "writes_applied",
+        "created_fork",
+        "merge_parents",
+    )
+
+    def __init__(self) -> None:
+        self.begin_visits = 0
+        self.versions_scanned = 0
+        self.ripple_steps = 0
+        self.children_checked = 0
+        self.writes_applied = 0
+        self.created_fork = False
+        self.merge_parents = 0
+
+
+class BaseTransaction:
+    """State and operations shared by single-mode and merge transactions."""
+
+    def __init__(
+        self,
+        store: "TardisStore",
+        session: "ClientSession",
+        begin_constraint: "Constraint",
+        read_only: bool = False,
+    ):
+        self._store = store
+        self.session = session
+        self.begin_constraint = begin_constraint
+        self.read_only = read_only
+        self.status = ACTIVE
+        self.read_keys: Set[Any] = set()
+        self.writes: Dict[Any, Any] = {}
+        self.trace = OpTrace()
+        #: id of the state this transaction committed, once committed.
+        self.commit_id: Optional[StateId] = None
+
+    @property
+    def dag(self) -> StateDAG:
+        return self._store.dag
+
+    @property
+    def write_keys(self) -> FrozenSet[Any]:
+        return frozenset(self.writes)
+
+    def _check_active(self) -> None:
+        if self.status != ACTIVE:
+            raise TransactionClosed("transaction is %s" % self.status)
+
+    # -- writes ------------------------------------------------------------
+
+    def put(self, key: Any, value: Any) -> None:
+        """Buffer a write; it becomes a record version at commit."""
+        self._check_active()
+        if self.read_only:
+            raise ReadOnlyViolation("read-only transaction cannot write %r" % (key,))
+        self.writes[key] = value
+
+    def delete(self, key: Any) -> None:
+        """Delete ``key`` on this branch (a tombstone version)."""
+        self.put(key, TOMBSTONE)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def abort(self) -> None:
+        """Abandon the transaction; buffered writes are discarded."""
+        self._check_active()
+        self._store._finish(self, ABORTED)
+
+    def commit(self, end_constraint: Optional["Constraint"] = None) -> StateId:
+        raise NotImplementedError
+
+    def __enter__(self) -> "BaseTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.status == ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+
+
+class Transaction(BaseTransaction):
+    """A single-mode transaction operating on one branch."""
+
+    def __init__(
+        self,
+        store: "TardisStore",
+        session: "ClientSession",
+        read_state: State,
+        begin_constraint: "Constraint",
+        read_only: bool = False,
+    ):
+        super().__init__(store, session, begin_constraint, read_only)
+        self.read_state = read_state
+
+    def get(self, key: Any, default: Any = _RAISE) -> Any:
+        """Read ``key`` from this branch (own writes first, then snapshot)."""
+        self._check_active()
+        self.read_keys.add(key)
+        if key in self.writes:
+            value = self.writes[key]
+        else:
+            value = self._store._read(key, self.read_state, self.trace)
+        if value is TOMBSTONE or value is _NOT_FOUND:
+            if default is _RAISE:
+                raise KeyNotFound(key)
+            return default
+        return value
+
+    def commit(self, end_constraint: Optional["Constraint"] = None) -> StateId:
+        """Commit at the most recent state satisfying the end constraint.
+
+        Returns the id of the commit state (for a read-only transaction,
+        the id of the read state: no new state is added to the DAG,
+        §6.1.4). Raises :class:`~repro.errors.TransactionAborted` when no
+        acceptable commit state exists.
+        """
+        self._check_active()
+        return self._store._commit_single(self, end_constraint)
+
+    def __repr__(self) -> str:
+        return "<Transaction read_state=%r status=%s>" % (
+            self.read_state.id,
+            self.status,
+        )
+
+
+class _NotFoundType:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<not-found>"
+
+
+_NOT_FOUND = _NotFoundType()

@@ -1,0 +1,212 @@
+"""Multiversion record storage (§6.1.3-6.1.4).
+
+Every update creates a new record version tagged with the id of the state
+the committing transaction created. Records live in a B-tree keyed by
+``(key, state_id)``; the key-version mapping keeps, per key, a
+topologically ordered (newest-first) skip list of state ids.
+
+Reading key ``k`` from read state ``r`` walks ``k``'s version list
+newest-first and returns the first version whose state passes the
+Figure 7 ``descendant_check`` against ``r`` — which, because ids are
+monotone along branches, is necessarily the branch's most recent version.
+
+Record promotion (§6.3) rewrites versions whose states were garbage
+collected to the id of the surviving descendant that took over their
+identity, then discards all but the newest of the versions that collapsed
+onto the same id.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.ids import StateId
+from repro.core.state_dag import State, StateDAG
+from repro.errors import GarbageCollectedError
+from repro.storage.btree import BTree
+from repro.storage.skiplist import SkipList
+
+
+class VersionedRecordStore:
+    """Key-version mapping plus the backing record store.
+
+    ``backend`` selects the record engine: ``"btree"`` (the TARDiS-BDB
+    configuration, default) or ``"hash"`` (the TARDiS-MDB configuration,
+    §6.6).
+    """
+
+    def __init__(
+        self,
+        btree_degree: int = 16,
+        seed: Optional[int] = None,
+        backend: str = "btree",
+    ):
+        self._versions: Dict[Any, SkipList] = {}
+        if backend == "btree":
+            self._records = BTree(t=btree_degree)
+        elif backend == "hash":
+            from repro.storage.hashstore import HashStore
+
+            self._records = HashStore()
+        else:
+            raise ValueError("unknown record backend %r" % backend)
+        self._seed = seed
+        self._next_list = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def records(self) -> BTree:
+        return self._records
+
+    def num_records(self) -> int:
+        return len(self._records)
+
+    def num_keys(self) -> int:
+        return len(self._versions)
+
+    def num_versions(self, key: Any) -> int:
+        slist = self._versions.get(key)
+        return len(slist) if slist is not None else 0
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._versions)
+
+    def versions_of(self, key: Any) -> List[StateId]:
+        """State ids of ``key``'s versions, newest first."""
+        slist = self._versions.get(key)
+        return list(slist.keys()) if slist is not None else []
+
+    # -- writes ------------------------------------------------------------
+
+    def write(self, key: Any, state_id: StateId, value: Any) -> None:
+        """Insert a new record version (never blocks, §6.1.4)."""
+        slist = self._versions.get(key)
+        if slist is None:
+            slist = SkipList(
+                reverse=True,
+                seed=None if self._seed is None else self._seed + self._next_list,
+            )
+            self._next_list += 1
+            self._versions[key] = slist
+        slist.insert(state_id, None)
+        self._records.insert((key, state_id), value)
+
+    # -- reads ------------------------------------------------------------
+
+    def read_visible(
+        self,
+        key: Any,
+        read_state: State,
+        dag: StateDAG,
+        scanned: Optional[List[int]] = None,
+    ) -> Optional[Tuple[StateId, Any]]:
+        """Most recent version of ``key`` visible from ``read_state``.
+
+        Returns ``(version_state_id, value)`` or None when the key has no
+        version on the selected branch. ``scanned`` (one-element list)
+        counts versions examined, for the cost model.
+        """
+        slist = self._versions.get(key)
+        if slist is None:
+            return None
+        for state_id in slist.keys():
+            if scanned is not None:
+                scanned[0] += 1
+            try:
+                version_state = dag.resolve(state_id)
+            except GarbageCollectedError:
+                continue  # orphaned record awaiting pruning (§6.5)
+            if dag.descendant_check(version_state, read_state):
+                return state_id, self._records.get((key, state_id))
+        return None
+
+    def read_candidates(
+        self,
+        key: Any,
+        read_states: List[State],
+        dag: StateDAG,
+        scanned: Optional[List[int]] = None,
+    ) -> List[Tuple[StateId, Any]]:
+        """Maximal visible versions of ``key`` across several branches.
+
+        The merge-mode read: one first-visible version per read state,
+        minus any candidate whose state is an ancestor of another
+        candidate's state (that one is superseded on the merged view).
+        """
+        per_branch: Dict[StateId, Any] = {}
+        for state in read_states:
+            hit = self.read_visible(key, state, dag, scanned)
+            if hit is not None:
+                per_branch.setdefault(hit[0], hit[1])
+        if len(per_branch) <= 1:
+            return list(per_branch.items())
+        candidates = []
+        ids = list(per_branch)
+        for sid in ids:
+            x = dag.resolve(sid)
+            superseded = any(
+                sid != other and dag.descendant_check(x, dag.resolve(other))
+                for other in ids
+            )
+            if not superseded:
+                candidates.append((sid, per_branch[sid]))
+        candidates.sort(reverse=True)
+        return candidates
+
+    # -- garbage collection (§6.3) -------------------------------------------
+
+    def promote_and_prune(self, dag: StateDAG) -> Tuple[int, int]:
+        """Rewrite versions of dead states; drop superseded duplicates.
+
+        Returns ``(promoted, dropped)`` record counts.
+        """
+        promoted = 0
+        dropped = 0
+        for key, slist in self._versions.items():
+            entries = list(slist.keys())  # newest first, pre-promotion order
+            rebuilt: List[Tuple[StateId, StateId]] = []  # (live_id, original)
+            seen: set = set()
+            changed = False
+            for state_id in entries:
+                try:
+                    live_id = dag.resolve(state_id).id
+                except GarbageCollectedError:
+                    # Orphaned record: its state is gone without a
+                    # successor (crash leftovers, §6.5). Discard.
+                    self._records.remove((key, state_id))
+                    changed = True
+                    dropped += 1
+                    continue
+                if live_id in seen:
+                    # An earlier (newer) version already owns this
+                    # identity; this one can never be read again.
+                    self._records.remove((key, state_id))
+                    changed = True
+                    dropped += 1
+                    continue
+                seen.add(live_id)
+                if live_id != state_id:
+                    value = self._records.get((key, state_id))
+                    self._records.remove((key, state_id))
+                    self._records.insert((key, live_id), value)
+                    promoted += 1
+                    changed = True
+                rebuilt.append((live_id, state_id))
+            if changed:
+                fresh = SkipList(
+                    reverse=True,
+                    seed=None if self._seed is None else self._seed + self._next_list,
+                )
+                self._next_list += 1
+                for live_id, _original in rebuilt:
+                    fresh.insert(live_id, None)
+                self._versions[key] = fresh
+        return promoted, dropped
+
+    def items_at(self, state: State, dag: StateDAG) -> Iterator[Tuple[Any, Any]]:
+        """Snapshot of all keys as visible from ``state`` (for checkpoints)."""
+        for key in list(self._versions):
+            hit = self.read_visible(key, state, dag)
+            if hit is not None:
+                yield key, hit[1]

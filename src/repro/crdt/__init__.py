@@ -1,0 +1,51 @@
+"""Convergent Replicated Data Types, two ways (§7.2.1, Figure 14).
+
+The paper ports a subset of the Shapiro et al. CRDT catalogue — an
+operation-based counter, a state-based PN-counter, a last-writer-wins
+register, a multi-value register, and an OR-set — to both TARDiS and a
+sequential store (BerkeleyDB in the paper), and compares code size,
+throughput, and useful work.
+
+* :mod:`repro.crdt.seq_impls` — the classic implementations: vector
+  clocks, per-replica entries, explicit state merges; they run over any
+  transactional key-value backend.
+* :mod:`repro.crdt.tardis_impls` — the TARDiS implementations: single
+  mode reads/writes a plain field, exactly as in a non-distributed
+  program; merge mode reconciles branches three-way from the fork point.
+  StateID replication and conflict tracking do the bookkeeping the
+  classic versions must hand-roll.
+"""
+
+from repro.crdt.vector_clock import VectorClock
+from repro.crdt.seq_impls import (
+    KVBackend,
+    LockingKV,
+    MemoryKV,
+    SeqLWWRegister,
+    SeqMVRegister,
+    SeqORSet,
+    SeqOpCounter,
+    SeqPNCounter,
+)
+from repro.crdt.tardis_impls import (
+    TardisCounter,
+    TardisLWWRegister,
+    TardisMVRegister,
+    TardisORSet,
+)
+
+__all__ = [
+    "VectorClock",
+    "KVBackend",
+    "MemoryKV",
+    "LockingKV",
+    "SeqOpCounter",
+    "SeqPNCounter",
+    "SeqLWWRegister",
+    "SeqMVRegister",
+    "SeqORSet",
+    "TardisCounter",
+    "TardisLWWRegister",
+    "TardisMVRegister",
+    "TardisORSet",
+]

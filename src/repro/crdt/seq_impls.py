@@ -1,0 +1,274 @@
+"""Classic CRDTs over a sequential transactional key-value store.
+
+These follow Shapiro et al.'s algorithms, as the paper's BerkeleyDB
+implementations do (§7.2.1): every replica's contribution is tracked
+explicitly (per-replica vector entries, tagged elements, vector clocks),
+every local mutation is a read-modify-write transaction, and every
+remote state must be merged element-wise into the local state. Compare
+with :mod:`repro.crdt.tardis_impls`, where the datastore tracks all of
+this by design.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.baselines.seqstore import TwoPhaseLockingStore
+from repro.crdt.vector_clock import VectorClock
+
+
+class KVBackend:
+    """Minimal transactional KV interface the classic CRDTs run over."""
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        raise NotImplementedError
+
+    def put(self, key: Any, value: Any) -> None:
+        raise NotImplementedError
+
+    def update(self, key: Any, fn, default: Any = None) -> Any:
+        """Atomic read-modify-write; returns the new value."""
+        raise NotImplementedError
+
+
+class MemoryKV(KVBackend):
+    """Dict-backed backend for tests and examples."""
+
+    def __init__(self) -> None:
+        self._data: Dict[Any, Any] = {}
+
+    def get(self, key, default=None):
+        return self._data.get(key, default)
+
+    def put(self, key, value):
+        self._data[key] = value
+
+    def update(self, key, fn, default=None):
+        new = fn(self._data.get(key, default))
+        self._data[key] = new
+        return new
+
+
+class LockingKV(KVBackend):
+    """Backend over the strict-2PL store (the paper's BDB role)."""
+
+    def __init__(self, store: Optional[TwoPhaseLockingStore] = None):
+        self._store = store or TwoPhaseLockingStore()
+
+    def get(self, key, default=None):
+        txn = self._store.begin()
+        value = txn.get(key, default=default)
+        txn.commit()
+        return value
+
+    def put(self, key, value):
+        txn = self._store.begin()
+        txn.put(key, value)
+        txn.commit()
+
+    def update(self, key, fn, default=None):
+        txn = self._store.begin()
+        new = fn(txn.get(key, default=default))
+        txn.put(key, new)
+        txn.commit()
+        return new
+
+
+class SeqOpCounter:
+    """Operation-based counter: every replica's deltas tracked separately.
+
+    ``increment``/``decrement`` return the operation to broadcast; remote
+    operations are applied with ``apply``, deduplicated by operation id
+    (op-based CRDTs need exactly-once delivery).
+    """
+
+    def __init__(self, kv: KVBackend, key: str, replica: str):
+        self._kv = kv
+        self._key = key
+        self.replica = replica
+        self._opseq = itertools.count(1)
+
+    def _entry_key(self, replica: str) -> str:
+        return "%s/op/%s" % (self._key, replica)
+
+    def _applied_key(self) -> str:
+        return "%s/applied" % self._key
+
+    def increment(self, by: int = 1) -> Tuple[str, int, int]:
+        op_id = next(self._opseq)
+        self._kv.update(self._entry_key(self.replica), lambda v: (v or 0) + by, 0)
+        return (self.replica, op_id, by)
+
+    def decrement(self, by: int = 1) -> Tuple[str, int, int]:
+        return self.increment(-by)
+
+    def apply(self, op: Tuple[str, int, int]) -> None:
+        replica, op_id, delta = op
+        applied: FrozenSet = self._kv.get(self._applied_key(), frozenset())
+        if (replica, op_id) in applied:
+            return
+        self._kv.update(self._entry_key(replica), lambda v: (v or 0) + delta, 0)
+        self._kv.put(self._applied_key(), applied | {(replica, op_id)})
+
+    def value(self, replicas: List[str]) -> int:
+        return sum(self._kv.get(self._entry_key(r), 0) for r in replicas)
+
+
+class SeqPNCounter:
+    """State-based PN-counter: increment and decrement vectors.
+
+    Reading sums both vectors; merging takes the element-wise maximum —
+    every operation, even a read, touches O(replicas) state (§5.2).
+    """
+
+    def __init__(self, kv: KVBackend, key: str, replica: str):
+        self._kv = kv
+        self._key = key
+        self.replica = replica
+
+    def _vec(self, which: str) -> Dict[str, int]:
+        return dict(self._kv.get("%s/%s" % (self._key, which), {}))
+
+    def _put_vec(self, which: str, vec: Dict[str, int]) -> None:
+        self._kv.put("%s/%s" % (self._key, which), vec)
+
+    def increment(self, by: int = 1) -> None:
+        vec = self._vec("p")
+        vec[self.replica] = vec.get(self.replica, 0) + by
+        self._put_vec("p", vec)
+
+    def decrement(self, by: int = 1) -> None:
+        vec = self._vec("n")
+        vec[self.replica] = vec.get(self.replica, 0) + by
+        self._put_vec("n", vec)
+
+    def value(self) -> int:
+        return sum(self._vec("p").values()) - sum(self._vec("n").values())
+
+    def state(self) -> Tuple[Dict[str, int], Dict[str, int]]:
+        return self._vec("p"), self._vec("n")
+
+    def merge(self, state: Tuple[Dict[str, int], Dict[str, int]]) -> None:
+        remote_p, remote_n = state
+        for which, remote in (("p", remote_p), ("n", remote_n)):
+            local = self._vec(which)
+            for replica, count in remote.items():
+                if count > local.get(replica, 0):
+                    local[replica] = count
+            self._put_vec(which, local)
+
+
+class SeqLWWRegister:
+    """Last-writer-wins register: (timestamp, replica, value) triples."""
+
+    def __init__(self, kv: KVBackend, key: str, replica: str):
+        self._kv = kv
+        self._key = key
+        self.replica = replica
+        self._clock = itertools.count(1)
+
+    def assign(self, value: Any, ts: Optional[int] = None) -> Tuple[int, str, Any]:
+        stamp = (ts if ts is not None else next(self._clock), self.replica, value)
+        current = self._kv.get(self._key)
+        if current is None or stamp[:2] > current[:2]:
+            self._kv.put(self._key, stamp)
+        return stamp
+
+    def merge(self, stamp: Tuple[int, str, Any]) -> None:
+        current = self._kv.get(self._key)
+        if current is None or stamp[:2] > current[:2]:
+            self._kv.put(self._key, stamp)
+
+    def value(self) -> Any:
+        current = self._kv.get(self._key)
+        return None if current is None else current[2]
+
+
+class SeqMVRegister:
+    """Multi-value register: candidate values tagged with vector clocks.
+
+    Assign supersedes everything the replica has observed; merging keeps
+    the set of causally maximal (concurrent) candidates.
+    """
+
+    def __init__(self, kv: KVBackend, key: str, replica: str):
+        self._kv = kv
+        self._key = key
+        self.replica = replica
+
+    def _candidates(self) -> List[Tuple[VectorClock, Any]]:
+        return list(self._kv.get(self._key, []))
+
+    def assign(self, value: Any) -> None:
+        observed = self._candidates()
+        clock = VectorClock()
+        for vc, _value in observed:
+            clock = clock.join(vc)
+        clock = clock.increment(self.replica)
+        self._kv.put(self._key, [(clock, value)])
+
+    def merge(self, remote: List[Tuple[VectorClock, Any]]) -> None:
+        combined = self._candidates() + list(remote)
+        maximal: List[Tuple[VectorClock, Any]] = []
+        for vc, value in combined:
+            dominated = any(
+                other_vc.dominates(vc) and other_vc != vc
+                for other_vc, _v in combined
+            )
+            if not dominated and (vc, value) not in maximal:
+                maximal.append((vc, value))
+        self._kv.put(self._key, maximal)
+
+    def values(self) -> List[Any]:
+        return [value for _vc, value in self._candidates()]
+
+    def state(self) -> List[Tuple[VectorClock, Any]]:
+        return self._candidates()
+
+
+class SeqORSet:
+    """Observed-remove set: unique add-tags, removes kill observed tags."""
+
+    def __init__(self, kv: KVBackend, key: str, replica: str):
+        self._kv = kv
+        self._key = key
+        self.replica = replica
+        self._tagseq = itertools.count(1)
+
+    def _adds(self) -> Dict[Any, Set[Tuple[str, int]]]:
+        return {k: set(v) for k, v in self._kv.get("%s/adds" % self._key, {}).items()}
+
+    def _removed(self) -> Set[Tuple[str, int]]:
+        return set(self._kv.get("%s/removed" % self._key, set()))
+
+    def add(self, element: Any) -> None:
+        tag = (self.replica, next(self._tagseq))
+        adds = self._adds()
+        adds.setdefault(element, set()).add(tag)
+        self._kv.put("%s/adds" % self._key, adds)
+
+    def remove(self, element: Any) -> None:
+        adds = self._adds()
+        observed = adds.get(element, set())
+        if observed:
+            self._kv.put("%s/removed" % self._key, self._removed() | observed)
+
+    def contains(self, element: Any) -> bool:
+        live = self._adds().get(element, set()) - self._removed()
+        return bool(live)
+
+    def elements(self) -> Set[Any]:
+        removed = self._removed()
+        return {e for e, tags in self._adds().items() if tags - removed}
+
+    def state(self) -> Tuple[Dict[Any, Set], Set]:
+        return self._adds(), self._removed()
+
+    def merge(self, state: Tuple[Dict[Any, Set], Set]) -> None:
+        remote_adds, remote_removed = state
+        adds = self._adds()
+        for element, tags in remote_adds.items():
+            adds.setdefault(element, set()).update(tags)
+        self._kv.put("%s/adds" % self._key, adds)
+        self._kv.put("%s/removed" % self._key, self._removed() | set(remote_removed))

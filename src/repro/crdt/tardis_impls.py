@@ -1,0 +1,184 @@
+"""CRDTs on TARDiS: plain fields plus a three-way branch merge (§5.2, §7.2.1).
+
+Single mode needs no distribution logic at all — a counter is an
+integer, a register is a value, a set is a set — because TARDiS records
+the branching structure itself. Merge mode reconciles with the value at
+the fork point in hand, which the paper shows cuts the code roughly in
+half versus the vector-based classics in :mod:`repro.crdt.seq_impls`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional
+
+from repro.core.constraints import SnapshotIsolationConstraint
+from repro.core.store import ClientSession, TardisStore
+
+#: end constraint for blind assigns: write-write conflicts must fork
+#: (under plain Serializability a blind write ripples past concurrent
+#: writers and would silently overwrite them).
+_WW_FORKS = SnapshotIsolationConstraint()
+
+
+class _TardisType:
+    """Shared plumbing: one keyed object in one TARDiS store."""
+
+    def __init__(self, store: TardisStore, key: str, session: Optional[ClientSession] = None):
+        self.store = store
+        self.key = key
+        self.session = session or store.session()
+
+    def _merge_txn(self):
+        merge = self.store.begin_merge(session=self.session)
+        if len(merge.read_states) < 2:
+            merge.abort()
+            return None
+        return merge
+
+
+class TardisCounter(_TardisType):
+    """Counter: increment/decrement a plain integer; merge sums deltas.
+
+    Covers both the op-based and the PN-counter of Figure 14 — on TARDiS
+    they are the same object, because the branch history already
+    separates every replica's contributions.
+    """
+
+    def increment(self, by: int = 1) -> None:
+        with self.store.begin(session=self.session) as txn:
+            txn.put(self.key, txn.get(self.key, default=0) + by)
+
+    def decrement(self, by: int = 1) -> None:
+        self.increment(-by)
+
+    def value(self) -> int:
+        return self.store.get(self.key, default=0, session=self.session)
+
+    def merge(self) -> Optional[int]:
+        """Fold all branches: fork value plus each branch's delta."""
+        merge = self._merge_txn()
+        if merge is None:
+            return None
+        forks = merge.find_fork_points()
+        base = merge.get_for_id(self.key, forks[0], default=0) if forks else 0
+        merged = base + sum(v - base for v in merge.get_all(self.key))
+        merge.put(self.key, merged)
+        merge.commit()
+        self.session.last_commit_id = merge.commit_id
+        return merged
+
+
+class TardisLWWRegister(_TardisType):
+    """Register resolved newest-timestamp-wins at merge time."""
+
+    def __init__(self, store, key, session=None):
+        super().__init__(store, key, session)
+        self._clock = itertools.count(1)
+
+    def assign(self, value: Any, ts: Optional[int] = None) -> None:
+        stamp = (ts if ts is not None else next(self._clock), self.store.site)
+        txn = self.store.begin(session=self.session)
+        txn.put(self.key, (stamp, value))
+        txn.commit(_WW_FORKS)
+
+    def value(self) -> Any:
+        stored = self.store.get(self.key, session=self.session)
+        return None if stored is None else stored[1]
+
+    def merge(self) -> Any:
+        merge = self._merge_txn()
+        if merge is None:
+            return self.value()
+        candidates = merge.get_all(self.key)
+        if candidates:
+            winner = max(candidates, key=lambda pair: pair[0])
+            merge.put(self.key, winner)
+        merge.commit()
+        self.session.last_commit_id = merge.commit_id
+        return None if not candidates else winner[1]
+
+
+class TardisMVRegister(_TardisType):
+    """Register that exposes all concurrently written values after merge."""
+
+    def assign(self, value: Any) -> None:
+        txn = self.store.begin(session=self.session)
+        txn.put(self.key, (value,))
+        txn.commit(_WW_FORKS)
+
+    def values(self) -> List[Any]:
+        stored = self.store.get(self.key, default=(), session=self.session)
+        return list(stored)
+
+    def merge(self) -> List[Any]:
+        merge = self._merge_txn()
+        if merge is None:
+            return self.values()
+        combined: List[Any] = []
+        for stored in merge.get_all(self.key):
+            for value in stored:
+                if value not in combined:
+                    combined.append(value)
+        merge.put(self.key, tuple(combined))
+        merge.commit()
+        self.session.last_commit_id = merge.commit_id
+        return combined
+
+
+class TardisORSet(_TardisType):
+    """Set with observed-remove, add-wins semantics.
+
+    Elements are stored as ``(element, tag)`` pairs with a fresh tag per
+    add, so a merge can tell a *re-add* (new tag, wins over a concurrent
+    remove) from mere retention (old tag, loses to a concurrent remove) —
+    the OR-set semantics. The merge itself is a plain three-way diff
+    against the fork-point value; no removed-tag tombstones or
+    cross-replica state exchange are needed, which is where the code
+    savings over :class:`repro.crdt.seq_impls.SeqORSet` come from.
+    """
+
+    def __init__(self, store, key, session=None):
+        super().__init__(store, key, session)
+        self._tags = itertools.count(1)
+
+    def add(self, element: Any) -> None:
+        tag = (self.store.site, self.session.name, next(self._tags))
+        with self.store.begin(session=self.session) as txn:
+            current = txn.get(self.key, default=frozenset())
+            txn.put(self.key, current | {(element, tag)})
+
+    def remove(self, element: Any) -> None:
+        with self.store.begin(session=self.session) as txn:
+            current = txn.get(self.key, default=frozenset())
+            txn.put(
+                self.key, frozenset(p for p in current if p[0] != element)
+            )
+
+    def contains(self, element: Any) -> bool:
+        return element in self.elements()
+
+    def elements(self) -> frozenset:
+        tagged = self.store.get(self.key, default=frozenset(), session=self.session)
+        return frozenset(element for element, _tag in tagged)
+
+    def merge(self) -> frozenset:
+        merge = self._merge_txn()
+        if merge is None:
+            return self.elements()
+        forks = merge.find_fork_points()
+        base = (
+            merge.get_for_id(self.key, forks[0], default=frozenset())
+            if forks
+            else frozenset()
+        )
+        added: set = set()
+        removed: set = set()
+        for branch_value in merge.get_all(self.key):
+            added |= branch_value - base
+            removed |= base - branch_value
+        merged = frozenset((base - removed) | added)  # fresh adds win
+        merge.put(self.key, merged)
+        merge.commit()
+        self.session.last_commit_id = merge.commit_id
+        return frozenset(element for element, _tag in merged)

@@ -1,0 +1,64 @@
+"""Vector clocks for the classic CRDT implementations.
+
+The sequential-store CRDTs of §7.2.1 model causality explicitly: a
+counter is a pair of per-replica vectors, a multi-value register keeps
+one vector clock per candidate value, and so on. TARDiS makes all of
+this unnecessary — which is precisely the paper's point — but the
+baseline needs it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+
+class VectorClock:
+    """An immutable replica -> counter map with the usual partial order."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Mapping[str, int] = ()):
+        self._entries: Dict[str, int] = {
+            k: v for k, v in dict(entries).items() if v
+        }
+
+    def get(self, replica: str) -> int:
+        return self._entries.get(replica, 0)
+
+    def increment(self, replica: str) -> "VectorClock":
+        bumped = dict(self._entries)
+        bumped[replica] = bumped.get(replica, 0) + 1
+        return VectorClock(bumped)
+
+    def join(self, other: "VectorClock") -> "VectorClock":
+        merged = dict(self._entries)
+        for replica, count in other._entries.items():
+            if count > merged.get(replica, 0):
+                merged[replica] = count
+        return VectorClock(merged)
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """self >= other pointwise."""
+        return all(self.get(r) >= c for r, c in other._entries.items())
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return not self.dominates(other) and not other.dominates(self)
+
+    def items(self) -> Iterable[Tuple[str, int]]:
+        return self._entries.items()
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VectorClock) and self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._entries.items()))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        inner = ",".join("%s:%d" % kv for kv in sorted(self._entries.items()))
+        return "<VC %s>" % inner

@@ -1,0 +1,166 @@
+"""Benchmark workloads for Figure 14(b,d): CRDT operation streams.
+
+For each CRDT type the 90%-read / 10%-write operation stream is
+expressed as transaction specs whose key patterns match what the two
+implementations actually do:
+
+* on TARDiS, every operation touches a single plain field (§5.2);
+* on a sequential store, reads of a counter sum per-replica vector
+  entries, writes read-modify-write the replica's own entry, sets keep
+  separate add/remove tag maps, and so on — each operation touches
+  O(replicas) keys and must be serialized against every other.
+
+The same specs run through the common simulation adapters, so lock
+waits (sequential store) and branch-on-conflict (TARDiS) emerge as they
+do in the microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.workload.mixes import TxnSpec
+
+OP_COUNTER = "Op-C"
+PN_COUNTER = "PN-C"
+LWW = "LWW"
+MV = "MV"
+OR_SET = "Set"
+
+CRDT_KINDS = [OP_COUNTER, PN_COUNTER, LWW, MV, OR_SET]
+
+
+class CrdtWorkload:
+    """90/10 read/write stream over a handful of shared CRDT objects."""
+
+    def __init__(
+        self,
+        kind: str,
+        system: str,
+        n_objects: int = 2,
+        n_replicas: int = 3,
+        write_ratio: float = 0.10,
+        remote_ratio: float = 0.15,
+        replica: str = "r0",
+    ):
+        if kind not in CRDT_KINDS:
+            raise ValueError("unknown CRDT kind %r" % kind)
+        if system not in ("tardis", "seq"):
+            raise ValueError("system must be 'tardis' or 'seq'")
+        self.kind = kind
+        self.system = system
+        self.n_objects = n_objects
+        self.replicas = ["r%d" % i for i in range(n_replicas)]
+        self.write_ratio = write_ratio
+        #: sequential stores must merge every remote operation into the
+        #: local state as it arrives (§7.2.1) — this fraction of the
+        #: transaction stream is such merge applications, full
+        #: read-modify-writes of the whole replicated state. TARDiS
+        #: absorbs remote operations as replicated branch states and
+        #: merges in periodic batches instead, so its stream has none.
+        self.remote_ratio = remote_ratio if system == "seq" else 0.0
+        self.replica = replica
+        self._counter = 0
+
+    # -- key layout ---------------------------------------------------------
+
+    def _obj(self, i: int) -> str:
+        return "crdt%02d" % i
+
+    def _vec_keys(self, obj: str, which: str) -> List[str]:
+        return ["%s/%s/%s" % (obj, which, r) for r in self.replicas]
+
+    @property
+    def preload(self) -> Dict[str, object]:
+        data: Dict[str, object] = {}
+        for i in range(self.n_objects):
+            obj = self._obj(i)
+            if self.system == "tardis":
+                data[obj] = 0 if "C" in self.kind else ()
+                continue
+            if self.kind in (OP_COUNTER, PN_COUNTER):
+                for key in self._vec_keys(obj, "p") + self._vec_keys(obj, "n"):
+                    data[key] = 0
+            elif self.kind in (LWW, MV):
+                data[obj] = ()
+            else:  # OR-set: adds map and removed-tag set
+                data[obj + "/adds"] = ()
+                data[obj + "/removed"] = ()
+        return data
+
+    # -- op streams ------------------------------------------------------------
+
+    def next_txn(self, rng: random.Random) -> TxnSpec:
+        self._counter += 1
+        obj = self._obj(rng.randrange(self.n_objects))
+        if self.remote_ratio and rng.random() < self.remote_ratio:
+            return self._remote_merge_txn(obj)
+        writing = rng.random() < self.write_ratio
+        if self.system == "tardis":
+            return self._tardis_txn(obj, writing, rng)
+        return self._seq_txn(obj, writing, rng)
+
+    def _remote_merge_txn(self, obj: str) -> TxnSpec:
+        """Apply one remote operation: merge it into the local state.
+
+        For state-based counters this reads and rewrites *every*
+        per-replica entry (element-wise max); for sets, both tag maps;
+        for registers, the candidate set.
+        """
+        self._counter += 1
+        if self.kind in (OP_COUNTER, PN_COUNTER):
+            keys = self._vec_keys(obj, "p") + self._vec_keys(obj, "n")
+            ops = [("r", k) for k in keys]
+            ops += [("w", k, self._counter) for k in keys]
+            return TxnSpec(ops)
+        if self.kind in (LWW, MV):
+            return TxnSpec([("r", obj), ("w", obj, self._counter)])
+        adds, removed = obj + "/adds", obj + "/removed"
+        return TxnSpec(
+            [
+                ("r", adds),
+                ("r", removed),
+                ("w", adds, self._counter),
+                ("w", removed, self._counter),
+            ]
+        )
+
+    def _tardis_txn(self, obj: str, writing: bool, rng) -> TxnSpec:
+        if not writing:
+            return TxnSpec([("r", obj)], read_only=True)
+        if self.kind in (LWW, MV):
+            # Blind assign of a single field.
+            return TxnSpec([("w", obj, self._counter)])
+        # Counter / set: read-modify-write of a single field.
+        return TxnSpec([("r", obj), ("w", obj, self._counter)])
+
+    def _seq_txn(self, obj: str, writing: bool, rng) -> TxnSpec:
+        own_p = "%s/p/%s" % (obj, self.replica)
+        if self.kind in (OP_COUNTER, PN_COUNTER):
+            if not writing:
+                # Reading the value sums both vectors: O(replicas) reads.
+                keys = self._vec_keys(obj, "p") + self._vec_keys(obj, "n")
+                return TxnSpec([("r", k) for k in keys], read_only=True)
+            # Increment: RMW the replica's own entry; the op-based
+            # variant additionally appends to its applied-ops log.
+            ops = [("r", own_p), ("w", own_p, self._counter)]
+            if self.kind == OP_COUNTER:
+                log_key = "%s/applied" % obj
+                ops += [("r", log_key), ("w", log_key, self._counter)]
+            return TxnSpec(ops)
+        if self.kind in (LWW, MV):
+            if not writing:
+                return TxnSpec([("r", obj)], read_only=True)
+            # Assign must observe the current (timestamped / vector-
+            # clocked) candidates before superseding them.
+            return TxnSpec([("r", obj), ("w", obj, self._counter)])
+        # OR-set.
+        adds, removed = obj + "/adds", obj + "/removed"
+        if not writing:
+            return TxnSpec([("r", adds), ("r", removed)], read_only=True)
+        if rng.random() < 0.5:
+            return TxnSpec([("r", adds), ("w", adds, self._counter)])
+        return TxnSpec(
+            [("r", adds), ("r", removed), ("w", removed, self._counter)]
+        )

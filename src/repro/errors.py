@@ -1,0 +1,112 @@
+"""Exception hierarchy for the TARDiS reproduction.
+
+Every error raised by the library derives from :class:`TardisError`, so
+applications can catch a single base class. Errors are split along the
+paper's fault lines: transaction lifecycle (§6.1), merge mode (§6.2),
+garbage collection (§6.3), storage (§4), and replication (§6.4).
+"""
+
+from __future__ import annotations
+
+
+class TardisError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class TransactionError(TardisError):
+    """Base class for transaction lifecycle errors."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction could not commit.
+
+    Raised when no state satisfies the transaction's end constraint
+    (§6.1.2), when the read state was garbage collected under the
+    transaction (§6.4, optimistic GC), or when the user calls ``abort``.
+    """
+
+    def __init__(self, reason: str = "transaction aborted"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class BeginError(TransactionError):
+    """No state in the DAG satisfies the begin constraint (§6.1.1)."""
+
+
+class TransactionClosed(TransactionError):
+    """An operation was issued on a committed or aborted transaction."""
+
+
+class ReadOnlyViolation(TransactionError):
+    """A write was issued inside a transaction opened read-only."""
+
+
+class MergeError(TardisError):
+    """Base class for merge-mode errors (§6.2)."""
+
+
+class MultipleValuesError(MergeError):
+    """``get`` found conflicting values for a key across merged branches.
+
+    The application should resolve the conflict explicitly with
+    ``get_for_id``/``find_conflict_writes`` and ``put`` the merged value.
+    """
+
+    def __init__(self, key, candidates):
+        super().__init__(
+            "key %r has %d conflicting values across merged branches"
+            % (key, len(candidates))
+        )
+        self.key = key
+        #: list of (state_id, value) pairs, one per maximal version.
+        self.candidates = candidates
+
+
+class NotAMergeTransaction(MergeError):
+    """A merge-only API call was issued on a single-mode transaction."""
+
+
+class StorageError(TardisError):
+    """Base class for storage-layer errors."""
+
+
+class KeyNotFound(StorageError):
+    """The key has no visible version on the selected branch."""
+
+    def __init__(self, key):
+        super().__init__("key not found: %r" % (key,))
+        self.key = key
+
+
+class CorruptLogError(StorageError):
+    """The commit log failed an integrity check during recovery (§6.5)."""
+
+
+class GarbageCollectedError(TardisError):
+    """A state needed by the operation was garbage collected (§6.3-6.4)."""
+
+    def __init__(self, state_id):
+        super().__init__("state %r was garbage collected" % (state_id,))
+        self.state_id = state_id
+
+
+class ReplicationError(TardisError):
+    """Base class for replication errors (§6.4)."""
+
+
+class UnknownSiteError(ReplicationError):
+    """A message was addressed to a site the cluster does not know."""
+
+
+class DeadlockError(TardisError):
+    """The lock manager detected a deadlock (baseline 2PL store only)."""
+
+    def __init__(self, txn_id, cycle=None):
+        super().__init__("deadlock detected for transaction %r" % (txn_id,))
+        self.txn_id = txn_id
+        self.cycle = cycle or []
+
+
+class ValidationError(TardisError):
+    """OCC backward validation failed (baseline OCC store only)."""

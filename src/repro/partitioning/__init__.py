@@ -1,0 +1,21 @@
+"""Data partitioning within a datacenter (the §6.4 extension).
+
+The paper's prototype stores a full copy of the database at every site
+but sketches the extension: "executing distributed transactions within
+a datacenter (with the State DAG collocated with the transaction
+manager) and replicating transactions asynchronously across
+datacenters", following COPS.
+
+This package implements that sketch. A :class:`PartitionedStore` is one
+datacenter: a single transaction manager owns the consistency layer
+(State DAG, constraint engine, sessions — unchanged), while records are
+hash-partitioned across N shards, each with its own key-version mapping
+and record B-tree. Transactions therefore span shards but serialize
+their begin/commit decisions through the collocated DAG, exactly as the
+paper proposes; cross-datacenter replication is unchanged (the
+replicator speaks state ids, not shards).
+"""
+
+from repro.partitioning.sharded import ShardedRecordStore, PartitionedStore
+
+__all__ = ["ShardedRecordStore", "PartitionedStore"]

@@ -1,0 +1,168 @@
+"""Sharded record storage and the partitioned datacenter store (§6.4).
+
+``ShardedRecordStore`` exposes the same interface as
+:class:`~repro.core.versions.VersionedRecordStore` but routes every key
+to one of N shards by stable hash; each shard keeps its own key-version
+skip lists and record B-tree, as separate storage nodes would.
+
+``PartitionedStore`` is a drop-in :class:`~repro.core.store.TardisStore`
+whose storage layer is sharded. All consistency decisions (read-state
+selection, commit rippling, branching, merging, GC marking) happen at
+the transaction manager where the State DAG lives; only record reads,
+writes, and pruning fan out to shards. Per-shard access counters make
+the data distribution observable.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.core.state_dag import State, StateDAG
+from repro.core.store import TardisStore
+from repro.core.versions import VersionedRecordStore
+
+
+def default_shard_of(key: Any, n_shards: int) -> int:
+    """Stable hash partitioning (CRC32 of the key's repr)."""
+    return zlib.crc32(repr(key).encode()) % n_shards
+
+
+class ShardedRecordStore:
+    """N independent record stores behind the VersionedRecordStore API."""
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        btree_degree: int = 16,
+        seed: Optional[int] = 0,
+        shard_of=None,
+    ):
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.n_shards = n_shards
+        self._shard_of = shard_of or default_shard_of
+        self.shards: List[VersionedRecordStore] = [
+            VersionedRecordStore(
+                btree_degree=btree_degree,
+                seed=None if seed is None else seed + 1000 * i,
+            )
+            for i in range(n_shards)
+        ]
+        #: per-shard operation counters (reads + writes), for balance
+        #: inspection and the simulation's shard-RPC accounting.
+        self.accesses: List[int] = [0] * n_shards
+
+    def shard_index(self, key: Any) -> int:
+        return self._shard_of(key, self.n_shards)
+
+    def _shard(self, key: Any) -> VersionedRecordStore:
+        index = self.shard_index(key)
+        self.accesses[index] += 1
+        return self.shards[index]
+
+    # -- VersionedRecordStore interface ------------------------------------
+
+    def write(self, key: Any, state_id, value: Any) -> None:
+        self._shard(key).write(key, state_id, value)
+
+    def read_visible(self, key, read_state: State, dag: StateDAG, scanned=None):
+        return self._shard(key).read_visible(key, read_state, dag, scanned)
+
+    def read_candidates(self, key, read_states, dag: StateDAG, scanned=None):
+        return self._shard(key).read_candidates(key, read_states, dag, scanned)
+
+    def promote_and_prune(self, dag: StateDAG) -> Tuple[int, int]:
+        promoted = dropped = 0
+        for shard in self.shards:
+            p, d = shard.promote_and_prune(dag)
+            promoted += p
+            dropped += d
+        return promoted, dropped
+
+    def num_records(self) -> int:
+        return sum(s.num_records() for s in self.shards)
+
+    def num_keys(self) -> int:
+        return sum(s.num_keys() for s in self.shards)
+
+    def num_versions(self, key: Any) -> int:
+        return self.shards[self.shard_index(key)].num_versions(key)
+
+    def keys(self) -> Iterator[Any]:
+        for shard in self.shards:
+            yield from shard.keys()
+
+    def versions_of(self, key: Any) -> List:
+        return self.shards[self.shard_index(key)].versions_of(key)
+
+    def items_at(self, state: State, dag: StateDAG):
+        for shard in self.shards:
+            yield from shard.items_at(state, dag)
+
+    @property
+    def records(self):
+        """Record lookup across shards (read-only facade)."""
+        return _ShardedRecords(self)
+
+    # -- distribution introspection ----------------------------------------
+
+    def balance(self) -> List[int]:
+        """Records per shard."""
+        return [s.num_records() for s in self.shards]
+
+
+class _ShardedRecords:
+    """Facade matching the BTree ``get``/``__len__`` used by peers/fetch."""
+
+    def __init__(self, store: ShardedRecordStore):
+        self._store = store
+
+    def get(self, composite_key, default=None):
+        key, _sid = composite_key
+        shard = self._store.shards[self._store.shard_index(key)]
+        return shard.records.get(composite_key, default)
+
+    def __len__(self) -> int:
+        return self._store.num_records()
+
+
+class PartitionedStore(TardisStore):
+    """One datacenter: a transaction manager over N record shards."""
+
+    def __init__(
+        self,
+        site: str,
+        n_shards: int = 4,
+        shard_of=None,
+        **kwargs,
+    ):
+        btree_degree = kwargs.pop("btree_degree", 16)
+        seed = kwargs.pop("seed", 0)
+        super().__init__(site, btree_degree=btree_degree, seed=seed, **kwargs)
+        # Replace the monolithic storage layer with the sharded one; the
+        # consistency layer (DAG, constraints, sessions) is untouched.
+        self.versions = ShardedRecordStore(
+            n_shards=n_shards,
+            btree_degree=btree_degree,
+            seed=seed,
+            shard_of=shard_of,
+        )
+
+    @property
+    def n_shards(self) -> int:
+        return self.versions.n_shards
+
+    def shard_balance(self) -> List[int]:
+        return self.versions.balance()
+
+    def shard_accesses(self) -> List[int]:
+        return list(self.versions.accesses)
+
+    def __repr__(self) -> str:
+        return "<PartitionedStore site=%s shards=%d states=%d records=%d>" % (
+            self.site,
+            self.n_shards,
+            len(self.dag),
+            self.versions.num_records(),
+        )

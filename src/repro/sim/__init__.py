@@ -1,0 +1,40 @@
+"""Discrete-event concurrency harness.
+
+The paper's evaluation runs many closed-loop client threads against each
+system on a physical cluster. CPython cannot reproduce that directly
+(the GIL serializes everything and wall-clock numbers would measure the
+interpreter, not the algorithms), so the evaluation here replays the
+paper's methodology inside a deterministic discrete-event simulation:
+
+* logical clients interleave at operation granularity over the *real*
+  data structures — conflicts, branch creation, lock queues, and OCC
+  validation failures actually happen;
+* each operation charges simulated service time through a calibrated
+  cost model driven by the work the structures actually performed
+  (states visited, versions scanned, validation checks, ...);
+* a bounded pool of server "cores" serializes service time, producing
+  the throughput/latency saturation curves of the paper's figures;
+* lock waits (2PL) and abort/retry loops (OCC, non-branching TARDiS)
+  emerge from the algorithms, never from scripted delays.
+"""
+
+from repro.sim.des import Simulator, Resource
+from repro.sim.costs import CostModel
+from repro.sim.adapters import (
+    OpResult,
+    SystemAdapter,
+    TardisAdapter,
+    TwoPLAdapter,
+    OCCAdapter,
+)
+
+__all__ = [
+    "Simulator",
+    "Resource",
+    "CostModel",
+    "OpResult",
+    "SystemAdapter",
+    "TardisAdapter",
+    "TwoPLAdapter",
+    "OCCAdapter",
+]

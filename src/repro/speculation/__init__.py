@@ -1,0 +1,19 @@
+"""Speculative execution on branches (the paper's §9 future work).
+
+The paper closes: "we believe that TARDiS' ability to efficiently
+distinguish between concurrent threads of execution makes it a strong
+candidate for concurrency control systems based on speculation."
+
+This package prototypes that idea. A site executes client transactions
+*immediately* on a speculative branch instead of waiting a wide-area
+round-trip for the global commit order; when the confirmed order
+arrives, speculation either stands (the common case — the branch is
+promoted to the confirmed trunk) or is abandoned and replayed on top of
+the confirmed prefix (misspeculation). Branches make both outcomes
+cheap: no rollback machinery, no locks held across the WAN, and readers
+can choose between confirmed-only and speculative views at any time.
+"""
+
+from repro.speculation.executor import SpeculativeExecutor, Speculation
+
+__all__ = ["SpeculativeExecutor", "Speculation"]

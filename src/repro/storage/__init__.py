@@ -1,0 +1,12 @@
+"""Storage substrates: skip list, B-tree record store, write-ahead log.
+
+These are the building blocks the paper's prototype delegated to
+BerkeleyDB/MapDB plus its in-memory structures; here they are implemented
+from scratch so the whole system is self-contained.
+"""
+
+from repro.storage.skiplist import SkipList
+from repro.storage.btree import BTree
+from repro.storage.wal import WriteAheadLog, LogRecord
+
+__all__ = ["SkipList", "BTree", "WriteAheadLog", "LogRecord"]

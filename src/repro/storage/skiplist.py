@@ -1,0 +1,159 @@
+"""A sorted skip list.
+
+TARDiS keeps, for every key, a topologically ordered list of record
+versions; the paper implements it as a lock-free skip list so that writes
+never block (§6.1.4). This module provides the equivalent structure: a
+probabilistic skip list sorted by key, with O(log n) expected insert,
+delete and search, and ordered iteration.
+
+The version lists want *newest first* iteration; callers get that by
+constructing the list with ``reverse=True``, which flips the comparison
+order so that the head of the list is the largest key.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Optional, Tuple
+
+_MAX_LEVEL = 24
+_P = 0.5
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Any, value: Any, level: int):
+        self.key = key
+        self.value = value
+        self.forward: List[Optional[_Node]] = [None] * level
+
+
+class SkipList:
+    """A sorted mapping with ordered iteration.
+
+    Parameters
+    ----------
+    reverse:
+        When true, the list is sorted descending, so iteration yields the
+        largest keys first (used for newest-first version lists).
+    seed:
+        Seed for the level-generation RNG, for deterministic tests.
+    """
+
+    def __init__(self, reverse: bool = False, seed: Optional[int] = None):
+        self._reverse = reverse
+        self._rng = random.Random(seed)
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __contains__(self, key: Any) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    def _precedes(self, a: Any, b: Any) -> bool:
+        """True when a sorts strictly before b in list order."""
+        if self._reverse:
+            return a > b
+        return a < b
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: Any) -> List[_Node]:
+        """Nodes that immediately precede ``key`` at every level."""
+        preds = [self._head] * _MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and self._precedes(nxt.key, key):
+                node = nxt
+                nxt = node.forward[lvl]
+            preds[lvl] = node
+        return preds
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``key`` -> ``value``; replaces the value on a duplicate key."""
+        preds = self._find_predecessors(key)
+        candidate = preds[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        for lvl in range(level):
+            node.forward[lvl] = preds[lvl].forward[lvl]
+            preds[lvl].forward[lvl] = node
+        self._len += 1
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        preds = self._find_predecessors(key)
+        candidate = preds[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate.value
+        return default
+
+    def remove(self, key: Any) -> bool:
+        """Remove ``key``; returns True when the key was present."""
+        preds = self._find_predecessors(key)
+        candidate = preds[0].forward[0]
+        if candidate is None or candidate.key != key:
+            return False
+        for lvl in range(len(candidate.forward)):
+            if preds[lvl].forward[lvl] is candidate:
+                preds[lvl].forward[lvl] = candidate.forward[lvl]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._len -= 1
+        return True
+
+    def first(self) -> Tuple[Any, Any]:
+        """The front of the list (smallest key, or largest when reversed)."""
+        node = self._head.forward[0]
+        if node is None:
+            raise KeyError("skip list is empty")
+        return node.key, node.value
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def keys(self) -> Iterator[Any]:
+        for key, _value in self.items():
+            yield key
+
+    def values(self) -> Iterator[Any]:
+        for _key, value in self.items():
+            yield value
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.keys()
+
+    def items_from(self, key: Any) -> Iterator[Tuple[Any, Any]]:
+        """Ordered items starting at the first key not preceding ``key``."""
+        preds = self._find_predecessors(key)
+        node = preds[0].forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

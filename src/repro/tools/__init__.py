@@ -1,0 +1,5 @@
+"""Operational tooling: DAG inspection, DOT export, CLI entry points."""
+
+from repro.tools.inspect import dag_to_dot, describe_store, store_summary
+
+__all__ = ["dag_to_dot", "describe_store", "store_summary"]

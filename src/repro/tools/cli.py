@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro.tools.cli <command>``.
+
+Commands:
+
+* ``bench`` — run one microbenchmark point (system × mix × pattern) and
+  print the result row; useful for quick what-if runs without pytest.
+* ``demo`` — run a canned branch/merge walkthrough and dump the State
+  DAG as Graphviz DOT.
+* ``recover`` — inspect a write-ahead log: replay it into a fresh store
+  and print the recovery report and store summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.store import TardisStore
+from repro.sim.adapters import OCCAdapter, TardisAdapter, TwoPLAdapter
+from repro.tools.inspect import dag_to_dot, describe_store, store_summary
+from repro.workload import RunConfig, YCSBWorkload, run_simulation
+from repro.workload.mixes import BLIND_WRITE, MIXED, READ_HEAVY, READ_ONLY, WRITE_HEAVY
+
+SYSTEMS = {
+    "tardis": lambda: TardisAdapter(branching=True),
+    "tardis-nb": lambda: TardisAdapter(branching=False),
+    "bdb": TwoPLAdapter,
+    "occ": OCCAdapter,
+}
+
+MIXES = {
+    "read-only": READ_ONLY,
+    "read-heavy": READ_HEAVY,
+    "mixed": MIXED,
+    "write-heavy": WRITE_HEAVY,
+    "blind-write": BLIND_WRITE,
+}
+
+
+def cmd_bench(args) -> int:
+    adapter = SYSTEMS[args.system]()
+    workload = YCSBWorkload(
+        mix=MIXES[args.mix], n_keys=args.keys, pattern=args.pattern
+    )
+    config = RunConfig(
+        n_clients=args.clients,
+        duration_ms=args.duration,
+        warmup_ms=args.duration * 0.1,
+        cores=args.cores,
+        seed=args.seed,
+        maintenance_interval_ms=5.0 if args.system.startswith("tardis") else None,
+    )
+    result = run_simulation(adapter, workload, config)
+    if args.json:
+        payload = {
+            "system": result.system,
+            "mix": args.mix,
+            "pattern": args.pattern,
+            "clients": result.n_clients,
+            "throughput_tps": result.throughput_tps,
+            "mean_latency_ms": result.mean_latency_ms,
+            "p99_latency_ms": result.p99_latency_ms,
+            "aborts": result.aborts,
+            "goodput": result.goodput,
+            "op_breakdown_ms": result.op_breakdown_ms,
+            "adapter_stats": result.adapter_stats,
+        }
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(result.summary())
+    return 0
+
+
+def cmd_demo(args) -> int:
+    store = TardisStore("demo")
+    alice, bruno = store.session("alice"), store.session("bruno")
+    store.put("counter", 0, session=alice)
+    t1, t2 = store.begin(session=alice), store.begin(session=bruno)
+    t1.put("counter", t1.get("counter") + 1)
+    t2.put("counter", t2.get("counter") + 10)
+    t1.commit()
+    t2.commit()
+    merge = store.begin_merge(session=alice)
+    fork = merge.find_fork_points()[0]
+    base = merge.get_for_id("counter", fork)
+    merge.put("counter", base + sum(v - base for v in merge.get_all("counter")))
+    merge.commit()
+    if args.dot:
+        print(dag_to_dot(store))
+    else:
+        print(describe_store(store, keys=["counter"]))
+    return 0
+
+
+def cmd_recover(args) -> int:
+    from repro.core.recovery import recover_store
+
+    store, report = recover_store("recovered", args.wal)
+    print("recovery report:", json.dumps(report))
+    print()
+    print(describe_store(store))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.cli",
+        description="TARDiS reproduction command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bench = sub.add_parser("bench", help="run one microbenchmark point")
+    bench.add_argument("--system", choices=sorted(SYSTEMS), default="tardis")
+    bench.add_argument("--mix", choices=sorted(MIXES), default="read-heavy")
+    bench.add_argument("--pattern", choices=["uniform", "zipfian"], default="uniform")
+    bench.add_argument("--clients", type=int, default=16)
+    bench.add_argument("--keys", type=int, default=400)
+    bench.add_argument("--cores", type=int, default=8)
+    bench.add_argument("--duration", type=float, default=200.0)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--json", action="store_true")
+    bench.set_defaults(func=cmd_bench)
+
+    demo = sub.add_parser("demo", help="branch/merge walkthrough")
+    demo.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    demo.set_defaults(func=cmd_demo)
+
+    recover = sub.add_parser("recover", help="replay a write-ahead log")
+    recover.add_argument("wal", help="path to the commit log")
+    recover.set_defaults(func=cmd_recover)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

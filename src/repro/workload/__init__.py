@@ -1,0 +1,35 @@
+"""Workload generation and the closed-loop simulation runner (§7.1.1).
+
+Transaction mixes and access patterns follow the paper's setup: six
+operations per transaction (read-write transactions contain three reads
+and three writes), read-only/read-heavy/mixed/write-heavy mixes, and
+YCSB uniform and Zipfian (p=0.99) key-access distributions.
+"""
+
+from repro.workload.ycsb import UniformGenerator, ZipfianGenerator
+from repro.workload.mixes import (
+    TxnSpec,
+    YCSBWorkload,
+    READ_ONLY,
+    READ_HEAVY,
+    MIXED,
+    WRITE_HEAVY,
+)
+from repro.workload.stats import LatencyStats
+from repro.workload.runner import RunConfig, RunResult, run_simulation, sweep_clients
+
+__all__ = [
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "TxnSpec",
+    "YCSBWorkload",
+    "READ_ONLY",
+    "READ_HEAVY",
+    "MIXED",
+    "WRITE_HEAVY",
+    "LatencyStats",
+    "RunConfig",
+    "RunResult",
+    "run_simulation",
+    "sweep_clients",
+]

@@ -1,0 +1,382 @@
+"""Closed-loop client runner over the discrete-event simulation (§7.1).
+
+``run_simulation`` drives ``n_clients`` logical clients against one
+system adapter: each client repeatedly draws a transaction from the
+workload, executes it operation by operation (suspending on lock waits,
+retrying from ``begin`` on aborts), and the simulated service time of
+every operation is executed on a bounded pool of server cores. The
+result captures the paper's measurements: throughput, latency
+distribution, per-operation cost breakdown (Table 3), abort/retry
+counts, and the fraction of useful work (Figure 14d).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.adapters import SystemAdapter
+from repro.sim.des import Resource, Simulator
+from repro.workload.stats import LatencyStats, OpBreakdown
+
+
+@dataclass
+class RunConfig:
+    n_clients: int = 8
+    duration_ms: float = 300.0
+    warmup_ms: float = 30.0
+    cores: int = 8
+    seed: int = 0
+    #: run adapter.maintenance() (merge + GC for TARDiS) this often.
+    maintenance_interval_ms: Optional[float] = None
+    #: record a time-series sample this often (Figure 13).
+    sample_interval_ms: Optional[float] = None
+
+
+@dataclass
+class RunResult:
+    system: str
+    n_clients: int
+    duration_ms: float
+    commits: int = 0
+    aborts: int = 0
+    lock_waits: int = 0
+    throughput_tps: float = 0.0
+    mean_latency_ms: float = 0.0
+    p50_latency_ms: float = 0.0
+    p99_latency_ms: float = 0.0
+    goodput: float = 1.0
+    utilization: float = 0.0
+    op_breakdown_ms: Dict[str, float] = field(default_factory=dict)
+    adapter_stats: Dict[str, Any] = field(default_factory=dict)
+    samples: List[Dict[str, Any]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            "%-8s clients=%-3d tput=%8.0f txn/s  lat=%.3f ms (p99 %.3f)  "
+            "aborts=%-5d goodput=%.2f"
+            % (
+                self.system,
+                self.n_clients,
+                self.throughput_tps,
+                self.mean_latency_ms,
+                self.p99_latency_ms,
+                self.aborts,
+                self.goodput,
+            )
+        )
+
+
+class _Measure:
+    """Shared measurement state for one run."""
+
+    def __init__(self, warmup: float):
+        self.warmup = warmup
+        self.commits = 0
+        self.aborts = 0
+        self.lock_waits = 0
+        self.latency = LatencyStats()
+        self.breakdown = OpBreakdown()
+        self.useful_work = 0.0
+        self.wasted_work = 0.0
+        self.wait_time = 0.0
+        self.maintenance_work = 0.0
+        self.commits_total = 0  # including warmup, for time series
+
+
+class _Client:
+    def __init__(
+        self,
+        cid: str,
+        sim: Simulator,
+        cores: Resource,
+        adapter: SystemAdapter,
+        workload,
+        rng: random.Random,
+        measure: _Measure,
+        waiters: Dict[Any, "_Client"],
+        serial: Resource,
+    ):
+        self.cid = cid
+        self.sim = sim
+        self.cores = cores
+        self.adapter = adapter
+        self.workload = workload
+        self.rng = rng
+        self.m = measure
+        self.waiters = waiters
+        self.serial = serial
+        self.spec_writes: frozenset = frozenset()
+        self.gen = None
+        self.outcome = None
+        self.spec = None
+        self.txn_start = 0.0
+        self.attempt_work = 0.0
+        self.attempt_costs: Dict[str, float] = {}
+        self.attempt_counts: Dict[str, int] = {}
+        self.block_start = 0.0
+        self.block_op = "get"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self._next_txn()
+
+    def _next_txn(self) -> None:
+        self.spec = self.workload.next_txn(self.rng)
+        self.spec_writes = self.spec.write_keys
+        self.txn_start = self.sim.now
+        self._start_attempt()
+
+    def _start_attempt(self) -> None:
+        self.attempt_work = 0.0
+        self.attempt_costs = {}
+        self.attempt_counts = {}
+        self.gen = self._run_txn()
+        self._advance()
+
+    def _advance(self) -> None:
+        try:
+            directive = next(self.gen)
+        except StopIteration:
+            self._finish_attempt()
+            return
+        kind = directive[0]
+        if kind == "work":
+            _kind, op, cost, serial = directive
+            self._charge(op, cost)
+            pressure = self.adapter.pressure()
+            if serial > 0:
+                parallel = max(cost - serial, 0.0) * pressure
+                self.serial.execute(
+                    serial * pressure,
+                    lambda: self.cores.execute(parallel, self._advance),
+                )
+            else:
+                self.cores.execute(cost * pressure, self._advance)
+        elif kind == "block":
+            _kind, token, op = directive
+            self.block_start = self.sim.now
+            self.block_op = op
+            if getattr(token, "granted", False):
+                # The lock was handed over while this client was still
+                # paying for the acquire attempt; don't sleep forever.
+                self.sim.schedule(0.0, self.wake)
+            else:
+                self.waiters[id(token)] = self
+        else:  # pragma: no cover - defensive
+            raise RuntimeError("unknown directive %r" % (directive,))
+
+    def wake(self) -> None:
+        waited = self.sim.now - self.block_start
+        # Lock waiting counts into the blocked operation's latency
+        # (Table 3: BDB get/put costs grow with contention) but not
+        # into useful work (Figure 14d).
+        self.attempt_costs[self.block_op] = (
+            self.attempt_costs.get(self.block_op, 0.0) + waited
+        )
+        self.m.wait_time += waited
+        self.m.lock_waits += 1
+        self._advance()
+
+    def _charge(self, op: str, cost: float) -> None:
+        self.attempt_work += cost
+        self.attempt_costs[op] = self.attempt_costs.get(op, 0.0) + cost
+        self.attempt_counts[op] = self.attempt_counts.get(op, 0) + 1
+
+    # -- the transaction itself ------------------------------------------------
+
+    def _run_txn(self):
+        adapter = self.adapter
+        self.outcome = None
+        txn, cost = adapter.begin(self.cid, self.spec.read_only)
+        # The fixed per-transaction server overhead is charged under its
+        # own label so the Table 3 begin column reports only the
+        # consistency-layer work.
+        overhead = min(getattr(adapter.costs, "txn_overhead", 0.0), cost)
+        if overhead:
+            yield ("work", "overhead", overhead, 0.0)
+        yield ("work", "begin", cost - overhead, 0.0)
+        if self.spec.program is not None:
+            program = self.spec.program()
+            feed = None
+            advance = lambda: program.send(feed)
+        else:
+            static = iter(self.spec.ops)
+            feed = None
+            advance = lambda: next(static)
+        while True:
+            try:
+                op = advance()
+            except StopIteration:
+                break
+            op_name = "get" if op[0] == "r" else "put"
+            while True:
+                if op[0] == "r":
+                    result = adapter.read(
+                        txn, op[1], will_write=op[1] in self.spec_writes
+                    )
+                else:
+                    result = adapter.write(txn, op[1], op[2])
+                self._release(result.wakeups)
+                if result.cost:
+                    yield ("work", op_name, result.cost, result.serial)
+                if result.status == "ok":
+                    feed = result.value if op[0] == "r" else None
+                    break
+                if result.status == "wait":
+                    yield ("block", result.token, op_name)
+                    continue
+                self.outcome = "abort"
+                return
+        pre = adapter.commit_request(txn)
+        if pre is not None and pre.cost:
+            # Commit pre-phase: time elapses while the transaction is
+            # still live (locks held / waiting for the validator).
+            yield ("work", "commit", pre.cost, pre.serial)
+        result = adapter.commit(txn)
+        self._release(result.wakeups)
+        yield ("work", "commit", result.cost, result.serial)
+        self.outcome = "ok" if result.status == "ok" else "abort"
+
+    def _release(self, wakeups) -> None:
+        for token in wakeups:
+            client = self.waiters.pop(id(token), None)
+            if client is not None:
+                self.sim.schedule(0.0, client.wake)
+
+    def _finish_attempt(self) -> None:
+        measuring = self.sim.now >= self.m.warmup
+        if self.outcome == "ok":
+            self.m.commits_total += 1
+            if measuring:
+                self.m.commits += 1
+                self.m.latency.record(self.sim.now - self.txn_start)
+                self.m.breakdown.merge_costs(self.attempt_costs, self.attempt_counts)
+                self.m.useful_work += self.attempt_work
+            self.adapter_commit_hook()
+            self._next_txn()
+        else:
+            if measuring:
+                self.m.aborts += 1
+                self.m.wasted_work += self.attempt_work
+            self._start_attempt()  # retry the same transaction
+
+    def adapter_commit_hook(self) -> None:
+        hook = getattr(self.adapter, "on_client_commit", None)
+        if hook is not None:
+            hook(self.cid)
+
+
+def run_simulation(
+    adapter: SystemAdapter, workload, config: RunConfig
+) -> RunResult:
+    """Execute one closed-loop run and aggregate the measurements."""
+    sim = Simulator()
+    cores = Resource(sim, config.cores)
+    serial = Resource(sim, 1)  # per-system critical section (OCC validation)
+    measure = _Measure(config.warmup_ms)
+    waiters: Dict[Any, _Client] = {}
+
+    preload = getattr(workload, "preload", None)
+    if preload:
+        adapter.preload(preload)
+
+    clients = [
+        _Client(
+            "client-%d" % i,
+            sim,
+            cores,
+            adapter,
+            workload,
+            random.Random(config.seed * 7919 + i),
+            measure,
+            waiters,
+            serial,
+        )
+        for i in range(config.n_clients)
+    ]
+    for client in clients:
+        client.start()
+
+    if config.maintenance_interval_ms:
+
+        def run_maintenance() -> None:
+            cost = adapter.maintenance()
+            measure.maintenance_work += cost
+            if cost:
+                cores.execute(cost, lambda: None)
+            sim.schedule(config.maintenance_interval_ms, run_maintenance)
+
+        sim.schedule(config.maintenance_interval_ms, run_maintenance)
+
+    samples: List[Dict[str, Any]] = []
+    if config.sample_interval_ms:
+
+        def take_sample() -> None:
+            entry = {"t_ms": sim.now, "commits": measure.commits_total}
+            entry.update(adapter.stats())
+            samples.append(entry)
+            sim.schedule(config.sample_interval_ms, take_sample)
+
+        sim.schedule(config.sample_interval_ms, take_sample)
+
+    sim.run(until=config.duration_ms)
+
+    window_s = max(config.duration_ms - config.warmup_ms, 1e-9) / 1000.0
+    total_work = (
+        measure.useful_work
+        + measure.wasted_work
+        + measure.wait_time
+        + measure.maintenance_work
+    )
+    result = RunResult(
+        system=adapter.name,
+        n_clients=config.n_clients,
+        duration_ms=config.duration_ms,
+        commits=measure.commits,
+        aborts=measure.aborts,
+        lock_waits=measure.lock_waits,
+        throughput_tps=measure.commits / window_s,
+        mean_latency_ms=measure.latency.mean,
+        p50_latency_ms=measure.latency.p50,
+        p99_latency_ms=measure.latency.p99,
+        goodput=(measure.useful_work / total_work) if total_work > 0 else 1.0,
+        # busy_time counts service scheduled before the cutoff even when
+        # it completes after it, so clamp the rounding overshoot.
+        utilization=min(
+            1.0, cores.busy_time / (config.cores * config.duration_ms)
+        ),
+        op_breakdown_ms=measure.breakdown.as_dict(),
+        adapter_stats=adapter.stats(),
+        samples=samples,
+    )
+    return result
+
+
+def sweep_clients(
+    adapter_factory: Callable[[], SystemAdapter],
+    workload_factory: Callable[[], Any],
+    client_counts: List[int],
+    config: Optional[RunConfig] = None,
+) -> List[RunResult]:
+    """Run the same workload at increasing client counts.
+
+    Fresh adapter and workload per point — this is how the paper's
+    throughput/latency curves (Figures 9 and 10) are produced.
+    """
+    base = config or RunConfig()
+    results = []
+    for n in client_counts:
+        cfg = RunConfig(
+            n_clients=n,
+            duration_ms=base.duration_ms,
+            warmup_ms=base.warmup_ms,
+            cores=base.cores,
+            seed=base.seed,
+            maintenance_interval_ms=base.maintenance_interval_ms,
+            sample_interval_ms=base.sample_interval_ms,
+        )
+        results.append(run_simulation(adapter_factory(), workload_factory(), cfg))
+    return results

@@ -1,0 +1,84 @@
+"""Measurement helpers: latency aggregation and per-op breakdowns."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+
+class LatencyStats:
+    """Mean / percentile aggregation over recorded samples."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sum = 0.0
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return self._sum / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, p in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        data = sorted(self._samples)
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return data[lo]
+        frac = rank - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+
+class OpBreakdown:
+    """Mean cost per operation type (the Table 3 rows)."""
+
+    OPS = ("begin", "get", "put", "commit")
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {op: 0.0 for op in self.OPS}
+        self._counts: Dict[str, int] = {op: 0 for op in self.OPS}
+
+    def record(self, op: str, cost: float, count: int = 1) -> None:
+        if op not in self._totals:
+            return
+        self._totals[op] += cost
+        self._counts[op] += count
+
+    def merge_costs(self, costs: Dict[str, float], counts: Dict[str, int]) -> None:
+        for op, cost in costs.items():
+            self.record(op, cost, counts.get(op, 1))
+
+    def mean(self, op: str) -> float:
+        count = self._counts.get(op, 0)
+        if not count:
+            return 0.0
+        return self._totals[op] / count
+
+    def as_dict(self) -> Dict[str, float]:
+        return {op: self.mean(op) for op in self.OPS}

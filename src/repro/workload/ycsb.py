@@ -1,0 +1,98 @@
+"""YCSB-style key access distributions (§7.1.1).
+
+The paper uses the two access patterns of the YCSB benchmark: uniform,
+and Zipfian with p = 0.99. The Zipfian generator is the standard
+Gray et al. rejection-free construction used by YCSB itself, with the
+zeta normalization constants precomputed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+
+class UniformGenerator:
+    """Keys drawn uniformly from ``[0, n)``."""
+
+    name = "uniform"
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("need at least one key")
+        self.n = n
+
+    def next(self, rng: random.Random) -> int:
+        return rng.randrange(self.n)
+
+
+class ZipfianGenerator:
+    """Zipfian-distributed keys over ``[0, n)`` (YCSB's algorithm).
+
+    ``theta`` is YCSB's skew constant; the paper's "p = 0.99". Item 0 is
+    the hottest key. The generator scatters ranks over the key space by
+    hashing when ``scramble`` is true (YCSB's ScrambledZipfian), which
+    avoids accidental locality; the paper's contention behaviour only
+    needs the rank frequencies, so scrambling defaults to off.
+    """
+
+    name = "zipfian"
+
+    def __init__(self, n: int, theta: float = 0.99, scramble: bool = False):
+        if n < 1:
+            raise ValueError("need at least one key")
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self.scramble = scramble
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(min(n, 2), theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        if n <= 2:
+            # Degenerate key spaces: eta's normalization divides by zero;
+            # rank selection below only needs eta for ranks >= 2.
+            self._eta = 0.0
+        else:
+            self._eta = (1 - (2.0 / n) ** (1 - theta)) / (
+                1 - self._zeta2 / self._zetan
+            )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self, rng: random.Random) -> int:
+        u = rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            rank = 0
+        elif uz < 1.0 + 0.5 ** self.theta:
+            rank = 1
+        else:
+            rank = int(self.n * (self._eta * u - self._eta + 1) ** self._alpha)
+            rank = min(rank, self.n - 1)
+        if not self.scramble:
+            return rank
+        return _fnv1a_64(rank) % self.n
+
+
+def _fnv1a_64(value: int) -> int:
+    digest = 0xCBF29CE484222325
+    for _ in range(8):
+        digest ^= value & 0xFF
+        digest = (digest * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return digest
+
+
+def make_generator(
+    pattern: str, n: int, theta: float = 0.99, scramble: bool = False
+):
+    """Factory: ``"uniform"`` or ``"zipfian"``."""
+    if pattern == "uniform":
+        return UniformGenerator(n)
+    if pattern == "zipfian":
+        return ZipfianGenerator(n, theta=theta, scramble=scramble)
+    raise ValueError("unknown access pattern %r" % pattern)

@@ -1,0 +1,262 @@
+"""Tests for the ALPS applications: Retwis, the game store, the wiki."""
+
+import random
+
+import pytest
+
+from repro import TardisStore
+from repro.apps.retwis import (
+    POST_HEAVY,
+    READ_HEAVY,
+    RetwisApp,
+    RetwisWorkload,
+    retwis_merge_resolver,
+    timeline_key,
+)
+from repro.apps.shopping import GameStore
+from repro.apps.wiki import PageVersion, WikiPage, run_banditoni_scenario, side_of
+from repro.replication import Cluster
+from repro.sim.adapters import OCCAdapter, TardisAdapter, TwoPLAdapter
+from repro.workload import RunConfig, run_simulation
+
+
+class TestRetwisApp:
+    def make_app(self):
+        app = RetwisApp(TardisStore("A"))
+        for user in ("alice", "bruno", "carla"):
+            app.create_account(user)
+        return app
+
+    def test_account_lifecycle(self):
+        app = self.make_app()
+        with pytest.raises(ValueError):
+            app.create_account("alice")
+        assert app.read_own_timeline("alice") == []
+
+    def test_post_reaches_followers(self):
+        app = self.make_app()
+        app.follow("bruno", "alice")
+        app.post("alice", "hello world")
+        assert app.read_own_timeline("bruno") == [("alice", "hello world")]
+        assert app.read_own_timeline("alice") == [("alice", "hello world")]
+        assert app.read_own_timeline("carla") == []
+
+    def test_timeline_order_newest_first(self):
+        app = self.make_app()
+        app.follow("bruno", "alice")
+        app.post("alice", "first")
+        app.post("alice", "second")
+        assert [c for _a, c in app.read_own_timeline("bruno")] == ["second", "first"]
+
+    def test_timeline_capped(self):
+        app = self.make_app()
+        for i in range(60):
+            app.post("alice", "p%d" % i)
+        assert len(app.read_own_timeline("alice")) == 50
+
+    def test_merge_branches_unions_timelines(self):
+        app = self.make_app()
+        app.follow("carla", "alice")
+        app.follow("carla", "bruno")
+        store = app.store
+        # Force conflicting posts on two branches: both append to carla's
+        # timeline from the same snapshot.
+        t1 = store.begin(session=store.session("retwis:alice"))
+        t2 = store.begin(session=store.session("retwis:bruno"))
+        for txn, (pid, author) in ((t1, ((100, "alice"), "alice")), (t2, ((101, "bruno"), "bruno"))):
+            tl = txn.get(timeline_key("carla"))
+            txn.put(timeline_key("carla"), ((pid),) + tuple(tl))
+            txn.put("post:%s:%s" % pid, (author, "from " + author))
+        t1.commit()
+        t2.commit()
+        assert store.metrics.forks == 1
+        resolved = app.merge_branches()
+        assert resolved >= 1
+        timeline = app.read_own_timeline("carla")
+        assert ("alice", "from alice") in timeline
+        assert ("bruno", "from bruno") in timeline
+
+    def test_posts_never_misattributed_across_merge(self):
+        app = self.make_app()
+        app.follow("carla", "alice")
+        app.post("alice", "yours truly")
+        app.merge_branches()  # no-op with one branch
+        for author, content in app.read_own_timeline("carla"):
+            assert author == "alice"
+
+
+class TestRetwisWorkload:
+    def test_mix_validation(self):
+        with pytest.raises(ValueError):
+            RetwisWorkload(mix="chaos")
+
+    def test_preload_shape(self):
+        wl = RetwisWorkload(n_users=10, follows_per_user=3)
+        data = wl.preload
+        assert len(data) == 40  # 4 keys per user
+        assert all(isinstance(v, (frozenset, tuple)) for v in data.values())
+
+    def test_programs_run_on_all_systems(self):
+        for adapter in (TardisAdapter(), TwoPLAdapter(), OCCAdapter()):
+            wl = RetwisWorkload(mix=POST_HEAVY, n_users=20, follows_per_user=3)
+            result = run_simulation(
+                adapter,
+                wl,
+                RunConfig(n_clients=4, duration_ms=40, warmup_ms=5, cores=4,
+                          maintenance_interval_ms=10),
+            )
+            assert result.commits > 50, adapter.name
+
+    def test_followers_graph_skewed(self):
+        wl = RetwisWorkload(n_users=50, follows_per_user=5)
+        counts = sorted((len(f) for f in wl._followers.values()), reverse=True)
+        assert counts[0] >= 3 * max(1, counts[-1])
+
+    def test_tardis_with_resolver_preserves_attribution(self):
+        wl = RetwisWorkload(mix=POST_HEAVY, n_users=20, follows_per_user=3)
+        adapter = TardisAdapter(merge_resolver=retwis_merge_resolver)
+        run_simulation(
+            adapter,
+            wl,
+            RunConfig(n_clients=4, duration_ms=40, warmup_ms=5, cores=4,
+                      maintenance_interval_ms=5),
+        )
+        store = adapter.store
+        txn = store.begin(session=store.session("checker"))
+        for user in wl._users[:10]:
+            timeline = txn.get(timeline_key(user), default=())
+            for post_id in timeline:
+                post = txn.get("post:%s:%s" % post_id, default=None)
+                if post is not None:
+                    assert post[0] == post_id[1]  # author matches id
+        txn.commit()
+
+
+class TestGameStore:
+    def make_shop(self):
+        shop = GameStore(TardisStore("A"))
+        shop.stock_item("game", 1)
+        shop.stock_item("expansion", 5, requires="game")
+        return shop
+
+    def test_normal_purchase(self):
+        shop = self.make_shop()
+        assert shop.buy("alice", "game")
+        assert shop.cart("alice") == ("game",)
+        assert shop.stock("game") == 0
+
+    def test_out_of_stock_rejected(self):
+        shop = self.make_shop()
+        assert shop.buy("alice", "game")
+        assert not shop.buy("alice", "game")
+
+    def test_expansion_requires_game(self):
+        shop = self.make_shop()
+        assert not shop.buy("alice", "expansion")
+        assert shop.buy("alice", "game")
+        assert shop.buy("alice", "expansion")
+
+    def oversell(self, shop):
+        """Alice and Bruno both buy the last game on separate branches."""
+        store = shop.store
+        t1 = store.begin(session=store.session("shop:alice"))
+        t2 = store.begin(session=store.session("shop:bruno"))
+        for txn, customer in ((t1, "alice"), (t2, "bruno")):
+            stock = txn.get("item:game:stock")
+            txn.put("item:game:stock", stock - 1)
+            cart = txn.get("cart:%s" % customer, default=())
+            txn.put("cart:%s" % customer, tuple(cart) + ("game",))
+            txn.put(
+                "item:game:carts", txn.get("item:game:carts") | {customer}
+            )
+        t1.commit()
+        t2.commit()
+        assert store.metrics.forks == 1
+
+    def test_oversell_resolution_prefers_valuable_cart(self):
+        shop = self.make_shop()
+        self.oversell(shop)
+        # Bruno additionally bought the expansion on his branch.
+        assert shop.buy("bruno", "expansion")
+        losers = shop.merge(cart_value={"alice": 1, "bruno": 10})
+        assert losers == ["alice"]
+        assert shop.stock("game") == 0
+        assert shop.cart("bruno") == ("game", "expansion")
+        assert shop.cart("alice") == ()
+        assert shop.apologized_to("alice")
+        assert not shop.apologized_to("bruno")
+
+    def test_oversell_strips_dependent_items(self):
+        shop = self.make_shop()
+        self.oversell(shop)
+        assert shop.buy("alice", "expansion")
+        # Bruno is the better customer: Alice loses game AND expansion.
+        losers = shop.merge(cart_value={"alice": 1, "bruno": 10})
+        assert losers == ["alice"]
+        assert shop.cart("alice") == ()
+        # Expansion stock untouched by the strip (apology, not restock,
+        # per the paper's pseudocode).
+        assert shop.apologized_to("alice")
+
+    def test_invariant_no_expansion_without_game(self):
+        shop = self.make_shop()
+        self.oversell(shop)
+        assert shop.buy("alice", "expansion")
+        assert shop.buy("bruno", "expansion")
+        shop.merge(cart_value={"alice": 5, "bruno": 6})
+        for customer in ("alice", "bruno"):
+            cart = shop.cart(customer)
+            if "expansion" in cart:
+                assert "game" in cart
+
+    def test_merge_without_branches_is_noop(self):
+        shop = self.make_shop()
+        shop.buy("alice", "game")
+        assert shop.merge() == []
+
+
+class TestWiki:
+    def test_side_of(self):
+        assert side_of("pro-banditoni") == "pro"
+        assert side_of("anti-banditoni") == "anti"
+        assert side_of("stub") == "neutral"
+
+    def test_single_site_edits(self):
+        page = WikiPage(TardisStore("A"))
+        page.initialize("neutral stub", "neutral refs", "neutral portrait")
+        page.edit("alice", "content", "pro-banditoni text")
+        got = page.read()
+        assert got.content == "pro-banditoni text"
+
+    def test_scenario_reproduces_anomaly_and_resolution(self):
+        result = run_banditoni_scenario()
+        branches = result["branches"]
+        assert len(branches) == 2
+        # Each branch is internally coherent...
+        assert all(v.coherent() for v in branches)
+        sides = {side_of(v.content) for v in branches}
+        assert sides == {"pro", "anti"}
+        # ...but the naive per-object flattening is not.
+        assert not result["naive"].coherent()
+        # The moderated page is coherent and replicates everywhere.
+        assert result["moderated"].coherent()
+        assert result["converged"]
+
+    def test_moderator_can_construct_compromise(self):
+        store = TardisStore("A")
+        page = WikiPage(store)
+        page.initialize("neutral stub", "neutral refs", "neutral portrait")
+        t1 = store.begin(session=store.session("wiki:alice"))
+        t2 = store.begin(session=store.session("wiki:bruno"))
+        t1.get("wiki:banditoni:content")
+        t2.get("wiki:banditoni:content")
+        t1.put("wiki:banditoni:content", "pro-banditoni text")
+        t2.put("wiki:banditoni:content", "anti-banditoni text")
+        t1.commit()
+        t2.commit()
+        resolved = page.moderate(
+            lambda versions: PageVersion(
+                "balanced summary", "neutral refs", "neutral portrait"
+            )
+        )
+        assert page.read().content == "balanced summary"

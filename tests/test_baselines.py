@@ -1,0 +1,274 @@
+"""Tests for the baseline systems: lock manager, 2PL store, OCC store."""
+
+import pytest
+
+from repro.baselines import (
+    LockManager,
+    LockMode,
+    OCCStore,
+    TwoPhaseLockingStore,
+)
+from repro.errors import DeadlockError, KeyNotFound, TransactionClosed, ValidationError
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        lm = LockManager()
+        assert lm.acquire(1, "k", LockMode.SHARED).granted
+        assert lm.acquire(2, "k", LockMode.SHARED).granted
+        assert len(lm.holders("k")) == 2
+
+    def test_exclusive_blocks_shared(self):
+        lm = LockManager()
+        assert lm.acquire(1, "k", LockMode.EXCLUSIVE).granted
+        req = lm.acquire(2, "k", LockMode.SHARED)
+        assert not req.granted
+        assert lm.waiting("k") == [req]
+
+    def test_shared_blocks_exclusive(self):
+        lm = LockManager()
+        assert lm.acquire(1, "k", LockMode.SHARED).granted
+        assert not lm.acquire(2, "k", LockMode.EXCLUSIVE).granted
+
+    def test_reacquire_held_lock(self):
+        lm = LockManager()
+        assert lm.acquire(1, "k", LockMode.SHARED).granted
+        assert lm.acquire(1, "k", LockMode.SHARED).granted
+        assert lm.acquire(1, "k", LockMode.EXCLUSIVE).granted  # upgrade, sole holder
+        assert lm.holders("k")[1] == LockMode.EXCLUSIVE
+        # X holder re-requesting S keeps X.
+        assert lm.acquire(1, "k", LockMode.SHARED).granted
+        assert lm.holders("k")[1] == LockMode.EXCLUSIVE
+
+    def test_release_wakes_fifo(self):
+        lm = LockManager()
+        lm.acquire(1, "k", LockMode.EXCLUSIVE)
+        r2 = lm.acquire(2, "k", LockMode.EXCLUSIVE)
+        r3 = lm.acquire(3, "k", LockMode.EXCLUSIVE)
+        woken = lm.release_all(1)
+        assert woken == [r2]
+        assert r2.granted
+        assert not r3.granted
+        assert lm.release_all(2) == [r3]
+
+    def test_release_wakes_reader_batch(self):
+        lm = LockManager()
+        lm.acquire(1, "k", LockMode.EXCLUSIVE)
+        r2 = lm.acquire(2, "k", LockMode.SHARED)
+        r3 = lm.acquire(3, "k", LockMode.SHARED)
+        woken = lm.release_all(1)
+        assert set(id(w) for w in woken) == {id(r2), id(r3)}
+
+    def test_writer_not_starved_behind_queued_writer(self):
+        lm = LockManager()
+        lm.acquire(1, "k", LockMode.SHARED)
+        rw = lm.acquire(2, "k", LockMode.EXCLUSIVE)
+        # A new reader must queue behind the queued writer.
+        rr = lm.acquire(3, "k", LockMode.SHARED)
+        assert not rr.granted
+        woken = lm.release_all(1)
+        assert woken[0] is rw
+
+    def test_deadlock_detected(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.EXCLUSIVE)
+        lm.acquire(2, "b", LockMode.EXCLUSIVE)
+        lm.acquire(1, "b", LockMode.EXCLUSIVE)  # 1 waits on 2
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, "a", LockMode.EXCLUSIVE)  # 2 waits on 1: cycle
+        assert lm.deadlocks == 1
+        # The victim's request was not left in the queue.
+        assert all(r.txn_id != 2 for r in lm.waiting("a"))
+
+    def test_no_false_deadlock(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.EXCLUSIVE)
+        lm.acquire(2, "a", LockMode.EXCLUSIVE)
+        lm.acquire(3, "a", LockMode.EXCLUSIVE)  # chain, no cycle
+        assert lm.deadlocks == 0
+
+    def test_release_all_cleans_up(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.SHARED)
+        lm.acquire(1, "b", LockMode.EXCLUSIVE)
+        assert sorted(lm.held_keys(1)) == ["a", "b"]
+        lm.release_all(1)
+        assert lm.held_keys(1) == []
+        assert lm.holders("a") == {}
+
+
+class TestTwoPhaseLockingStore:
+    def test_single_threaded_transactions(self):
+        store = TwoPhaseLockingStore()
+        t = store.begin()
+        t.put("x", 1)
+        assert t.get("x") == 1
+        t.commit()
+        t2 = store.begin()
+        assert t2.get("x") == 1
+        with pytest.raises(KeyNotFound):
+            t2.get("missing")
+        assert t2.get("missing", default=0) == 0
+        t2.commit()
+        assert store.commits == 2
+
+    def test_abort_discards(self):
+        store = TwoPhaseLockingStore()
+        t = store.begin()
+        t.put("x", 1)
+        t.commit()
+        t2 = store.begin()
+        t2.put("x", 99)
+        t2.abort()
+        t3 = store.begin()
+        assert t3.get("x") == 1
+        assert store.aborts == 1
+
+    def test_writer_blocks_reader(self):
+        store = TwoPhaseLockingStore()
+        w = store.begin()
+        r = store.begin()
+        assert store.write(w, "x", 1)[0] == "ok"
+        status, request = store.read(r, "x")
+        assert status == "wait"
+        assert r.blocked_on is request
+        woken = store.commit(w)
+        assert woken and woken[0].txn_id == r.txn_id
+        # Retry after wakeup: lock now held.
+        assert store.read(r, "x") == ("ok", 1)
+
+    def test_reader_blocks_writer(self):
+        store = TwoPhaseLockingStore()
+        t = store.begin()
+        t.put("x", 0)
+        t.commit()
+        r = store.begin()
+        w = store.begin()
+        assert store.read(r, "x")[0] == "ok"
+        assert store.write(w, "x", 1)[0] == "wait"
+        store.commit(r)
+        assert store.write(w, "x", 1)[0] == "ok"
+        store.commit(w)
+        check = store.begin()
+        assert check.get("x") == 1
+
+    def test_deadlock_propagates(self):
+        store = TwoPhaseLockingStore()
+        t1, t2 = store.begin(), store.begin()
+        store.write(t1, "a", 1)
+        store.write(t2, "b", 2)
+        assert store.write(t1, "b", 1)[0] == "wait"
+        with pytest.raises(DeadlockError):
+            store.write(t2, "a", 2)
+
+    def test_closed_transaction_rejected(self):
+        store = TwoPhaseLockingStore()
+        t = store.begin()
+        t.commit()
+        with pytest.raises(TransactionClosed):
+            store.read(t, "x")
+
+
+class TestOCCStore:
+    def test_basic_commit(self):
+        store = OCCStore()
+        t = store.begin()
+        t.put("x", 1)
+        t.commit()
+        t2 = store.begin()
+        assert t2.get("x") == 1
+        t2.commit()
+
+    def test_missing_key(self):
+        store = OCCStore()
+        t = store.begin()
+        with pytest.raises(KeyNotFound):
+            t.get("nope")
+        assert t.get("nope", default=5) == 5
+        t.commit()
+
+    def test_validation_failure_aborts(self):
+        store = OCCStore()
+        t1 = store.begin()
+        t2 = store.begin()
+        t1.get("x", default=0)
+        t2.put("x", 1)
+        t2.commit()
+        t1.put("y", 1)
+        with pytest.raises(ValidationError):
+            t1.commit()
+        assert t1.status == "aborted"
+        assert store.validation_failures == 1
+
+    def test_blind_writes_do_not_conflict(self):
+        store = OCCStore()
+        t1 = store.begin()
+        t2 = store.begin()
+        t1.put("x", 1)
+        t2.put("x", 2)
+        t1.commit()
+        t2.commit()  # no reads -> validation passes
+        t3 = store.begin()
+        assert t3.get("x") == 2
+        t3.commit()
+
+    def test_read_only_not_in_history(self):
+        """Read-write txns are not validated against read-only ones."""
+        store = OCCStore()
+        ro = store.begin()
+        rw = store.begin()
+        ro.get("x", default=0)
+        ro.commit()
+        rw.get("y", default=0)
+        rw.put("y", 1)
+        rw.commit()  # must not be invalidated by the read-only commit
+        assert store.commits == 2
+        assert store._history[-1][1] == frozenset({"y"})
+
+    def test_read_only_still_validated(self):
+        """Read-only txns validate their own reads (§7.1.2)."""
+        store = OCCStore()
+        ro = store.begin()
+        ro.get("x", default=0)
+        w = store.begin()
+        w.put("x", 1)
+        w.commit()
+        with pytest.raises(ValidationError):
+            ro.commit()
+
+    def test_validation_scope_is_lifetime(self):
+        store = OCCStore()
+        w = store.begin()
+        w.put("x", 1)
+        w.commit()
+        # t begins after w committed: w is not in t's validation scope.
+        t = store.begin()
+        t.get("x")
+        t.put("z", 1)
+        t.commit()
+        assert store.validation_failures == 0
+
+    def test_history_pruned(self):
+        store = OCCStore()
+        for i in range(200):
+            t = store.begin()
+            t.put("k%d" % i, i)
+            t.commit()
+        assert len(store._history) <= 64
+
+    def test_at_least_one_committer_wins(self):
+        """OCC guarantees the first committer succeeds (§7.1.3)."""
+        store = OCCStore()
+        txns = [store.begin() for _ in range(5)]
+        for t in txns:
+            t.get("hot", default=0)
+            t.put("hot", t.txn_id)
+        outcomes = []
+        for t in txns:
+            try:
+                t.commit()
+                outcomes.append(True)
+            except ValidationError:
+                outcomes.append(False)
+        assert outcomes[0] is True
+        assert outcomes[1:] == [False] * 4

@@ -1,0 +1,369 @@
+"""Tests for both CRDT families: semantics, convergence, cross-site use."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TardisStore
+from repro.crdt import (
+    LockingKV,
+    MemoryKV,
+    SeqLWWRegister,
+    SeqMVRegister,
+    SeqOpCounter,
+    SeqORSet,
+    SeqPNCounter,
+    TardisCounter,
+    TardisLWWRegister,
+    TardisMVRegister,
+    TardisORSet,
+    VectorClock,
+)
+from repro.replication import Cluster
+
+
+class TestVectorClock:
+    def test_empty(self):
+        vc = VectorClock()
+        assert vc.get("a") == 0
+        assert len(vc) == 0
+        assert vc.dominates(VectorClock())
+
+    def test_increment_immutable(self):
+        vc = VectorClock()
+        vc2 = vc.increment("a")
+        assert vc.get("a") == 0
+        assert vc2.get("a") == 1
+
+    def test_join(self):
+        a = VectorClock({"x": 3, "y": 1})
+        b = VectorClock({"y": 2, "z": 5})
+        j = a.join(b)
+        assert j.as_dict() == {"x": 3, "y": 2, "z": 5}
+
+    def test_dominance_and_concurrency(self):
+        a = VectorClock({"x": 2})
+        b = VectorClock({"x": 1, "y": 1})
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+        assert a.concurrent_with(b)
+        c = a.join(b)
+        assert c.dominates(a) and c.dominates(b)
+        assert not c.concurrent_with(a)
+
+    def test_equality_hash(self):
+        assert VectorClock({"a": 1}) == VectorClock({"a": 1, "b": 0})
+        assert hash(VectorClock({"a": 1})) == hash(VectorClock({"a": 1}))
+
+    @given(
+        st.dictionaries(st.sampled_from("abc"), st.integers(0, 5)),
+        st.dictionaries(st.sampled_from("abc"), st.integers(0, 5)),
+    )
+    @settings(max_examples=100)
+    def test_join_is_lub(self, d1, d2):
+        a, b = VectorClock(d1), VectorClock(d2)
+        j = a.join(b)
+        assert j.dominates(a) and j.dominates(b)
+        assert j == b.join(a)  # commutative
+        assert j.join(j) == j  # idempotent
+
+
+class TestSeqCounters:
+    def test_op_counter_local(self):
+        kv = MemoryKV()
+        c = SeqOpCounter(kv, "cnt", "r1")
+        c.increment(5)
+        c.decrement(2)
+        assert c.value(["r1"]) == 3
+
+    def test_op_counter_apply_remote_idempotent(self):
+        kv = MemoryKV()
+        c = SeqOpCounter(kv, "cnt", "r1")
+        op = ("r2", 1, 7)
+        c.apply(op)
+        c.apply(op)  # duplicate delivery
+        assert c.value(["r1", "r2"]) == 7
+
+    def test_op_counter_two_replicas_converge(self):
+        kv1, kv2 = MemoryKV(), MemoryKV()
+        c1 = SeqOpCounter(kv1, "c", "r1")
+        c2 = SeqOpCounter(kv2, "c", "r2")
+        ops1 = [c1.increment(1), c1.increment(2)]
+        ops2 = [c2.decrement(4)]
+        for op in ops2:
+            c1.apply(op)
+        for op in ops1:
+            c2.apply(op)
+        replicas = ["r1", "r2"]
+        assert c1.value(replicas) == c2.value(replicas) == -1
+
+    def test_pn_counter_merge(self):
+        kv1, kv2 = MemoryKV(), MemoryKV()
+        c1 = SeqPNCounter(kv1, "c", "r1")
+        c2 = SeqPNCounter(kv2, "c", "r2")
+        c1.increment(10)
+        c2.decrement(3)
+        c2.increment(1)
+        c1.merge(c2.state())
+        c2.merge(c1.state())
+        assert c1.value() == c2.value() == 8
+
+    def test_pn_counter_merge_idempotent(self):
+        kv = MemoryKV()
+        c = SeqPNCounter(kv, "c", "r1")
+        c.increment(5)
+        state = c.state()
+        c.merge(state)
+        c.merge(state)
+        assert c.value() == 5
+
+    @given(st.lists(st.tuples(st.sampled_from([0, 1]), st.integers(1, 5)), max_size=20))
+    @settings(max_examples=50)
+    def test_pn_counter_value_matches_model(self, ops):
+        kv = MemoryKV()
+        c = SeqPNCounter(kv, "c", "r")
+        expected = 0
+        for kind, amount in ops:
+            if kind:
+                c.increment(amount)
+                expected += amount
+            else:
+                c.decrement(amount)
+                expected -= amount
+        assert c.value() == expected
+
+    def test_on_locking_backend(self):
+        c = SeqPNCounter(LockingKV(), "c", "r1")
+        c.increment(2)
+        c.decrement(1)
+        assert c.value() == 1
+
+
+class TestSeqRegisters:
+    def test_lww_local(self):
+        r = SeqLWWRegister(MemoryKV(), "reg", "r1")
+        assert r.value() is None
+        r.assign("a")
+        r.assign("b")
+        assert r.value() == "b"
+
+    def test_lww_merge_latest_wins(self):
+        kv1, kv2 = MemoryKV(), MemoryKV()
+        r1 = SeqLWWRegister(kv1, "reg", "r1")
+        r2 = SeqLWWRegister(kv2, "reg", "r2")
+        s1 = r1.assign("from-r1", ts=5)
+        s2 = r2.assign("from-r2", ts=9)
+        r1.merge(s2)
+        r2.merge(s1)
+        assert r1.value() == r2.value() == "from-r2"
+
+    def test_lww_tie_broken_by_replica(self):
+        kv1, kv2 = MemoryKV(), MemoryKV()
+        r1 = SeqLWWRegister(kv1, "reg", "r1")
+        r2 = SeqLWWRegister(kv2, "reg", "r2")
+        s1 = r1.assign("v1", ts=7)
+        s2 = r2.assign("v2", ts=7)
+        r1.merge(s2)
+        r2.merge(s1)
+        assert r1.value() == r2.value() == "v2"  # r2 > r1
+
+    def test_mv_register_keeps_concurrent_values(self):
+        kv1, kv2 = MemoryKV(), MemoryKV()
+        r1 = SeqMVRegister(kv1, "reg", "r1")
+        r2 = SeqMVRegister(kv2, "reg", "r2")
+        r1.assign("a")
+        r2.assign("b")
+        r1.merge(r2.state())
+        r2.merge(r1.state())
+        assert sorted(r1.values()) == sorted(r2.values()) == ["a", "b"]
+
+    def test_mv_register_assign_supersedes(self):
+        kv1, kv2 = MemoryKV(), MemoryKV()
+        r1 = SeqMVRegister(kv1, "reg", "r1")
+        r2 = SeqMVRegister(kv2, "reg", "r2")
+        r1.assign("a")
+        r2.assign("b")
+        r1.merge(r2.state())
+        r1.assign("resolved")  # observed both -> dominates both
+        r2.merge(r1.state())
+        assert r2.values() == ["resolved"]
+
+
+class TestSeqORSet:
+    def test_add_remove(self):
+        s = SeqORSet(MemoryKV(), "s", "r1")
+        s.add("x")
+        assert s.contains("x")
+        s.remove("x")
+        assert not s.contains("x")
+        assert s.elements() == set()
+
+    def test_add_wins_on_concurrent_add_remove(self):
+        kv1, kv2 = MemoryKV(), MemoryKV()
+        s1 = SeqORSet(kv1, "s", "r1")
+        s2 = SeqORSet(kv2, "s", "r2")
+        s1.add("x")
+        s2.merge(s1.state())
+        # Concurrently: r1 removes x, r2 re-adds x (a fresh tag).
+        s1.remove("x")
+        s2.add("x")
+        s1.merge(s2.state())
+        s2.merge(s1.state())
+        assert s1.contains("x") and s2.contains("x")
+
+    def test_remove_only_observed(self):
+        kv1, kv2 = MemoryKV(), MemoryKV()
+        s1 = SeqORSet(kv1, "s", "r1")
+        s2 = SeqORSet(kv2, "s", "r2")
+        s1.add("x")
+        s2.remove("x")  # never observed: no-op
+        s1.merge(s2.state())
+        assert s1.contains("x")
+
+    @given(st.lists(st.tuples(st.sampled_from(["add", "rem"]), st.integers(0, 5)), max_size=30))
+    @settings(max_examples=50)
+    def test_single_replica_matches_set(self, ops):
+        s = SeqORSet(MemoryKV(), "s", "r")
+        model = set()
+        for op, e in ops:
+            if op == "add":
+                s.add(e)
+                model.add(e)
+            else:
+                s.remove(e)
+                model.discard(e)
+        assert s.elements() == model
+
+
+class TestTardisCrdts:
+    def fork_two_writers(self, make_op):
+        """Run two conflicting single-mode ops from a common state."""
+        store = TardisStore("A")
+        a, b = store.session("a"), store.session("b")
+        return store, a, b
+
+    def test_counter_single_mode(self):
+        store = TardisStore("A")
+        c = TardisCounter(store, "cnt")
+        c.increment(3)
+        c.decrement(1)
+        assert c.value() == 2
+
+    def test_counter_branch_and_merge(self):
+        store = TardisStore("A")
+        c1 = TardisCounter(store, "cnt", session=store.session("a"))
+        c2 = TardisCounter(store, "cnt", session=store.session("b"))
+        c1.increment(0)  # seed a common base
+        c1.increment(10)
+        # b still reads the seed state? No: b's Ancestor anchor is the
+        # root, so it reads the most recent branch. Force a conflict:
+        t1 = store.begin(session=store.session("a"))
+        t2 = store.begin(session=store.session("b"))
+        v1, v2 = t1.get("cnt"), t2.get("cnt")
+        t1.put("cnt", v1 + 5)
+        t2.put("cnt", v2 + 7)
+        t1.commit()
+        t2.commit()
+        merged = TardisCounter(store, "cnt", session=store.session("a")).merge()
+        assert merged == 10 + 5 + 7
+        assert TardisCounter(store, "cnt").value() == 22
+
+    def test_counter_merge_noop_single_branch(self):
+        store = TardisStore("A")
+        c = TardisCounter(store, "cnt")
+        c.increment(4)
+        assert c.merge() is None
+        assert c.value() == 4
+
+    def test_lww_register_merge(self):
+        store = TardisStore("A")
+        r = TardisLWWRegister(store, "reg")
+        r.assign("first", ts=1)
+        t1 = store.begin(session=store.session("a"))
+        t2 = store.begin(session=store.session("b"))
+        t1.put("reg", ((5, "A"), "older"))
+        t2.put("reg", ((9, "A"), "newer"))
+        t1.commit()
+        t2.commit()
+        assert r.merge() == "newer"
+        assert r.value() == "newer"
+
+    def test_mv_register_blind_assigns_fork(self):
+        """Concurrent blind assigns must fork, not silently overwrite."""
+        store = TardisStore("A")
+        r = TardisMVRegister(store, "reg")
+        r.assign("base")
+        r1 = TardisMVRegister(store, "reg", session=store.session("a"))
+        r2 = TardisMVRegister(store, "reg", session=store.session("b"))
+        # Interleave two blind assigns from the same snapshot: under the
+        # write-write-forks end constraint the second one branches.
+        t1 = store.begin(session=r1.session)
+        t2 = store.begin(session=r2.session)
+        t1.put("reg", ("left",))
+        t2.put("reg", ("right",))
+        from repro.crdt.tardis_impls import _WW_FORKS
+
+        t1.commit(_WW_FORKS)
+        t2.commit(_WW_FORKS)
+        assert store.metrics.forks == 1
+        assert sorted(r.merge()) == ["left", "right"]
+
+    def test_mv_register_merge_across_sites(self):
+        cluster = Cluster(n_sites=2, default_latency_ms=5)
+        us, eu = cluster.stores["us"], cluster.stores["eu"]
+        r_us = TardisMVRegister(us, "reg", session=us.session("w"))
+        r_us.assign("seed")
+        cluster.run(until=50)
+        r_eu = TardisMVRegister(eu, "reg", session=eu.session("w"))
+        r_us.assign("left")
+        r_eu.assign("right")
+        cluster.run(until=150)
+        merged = TardisMVRegister(us, "reg", session=us.session("m")).merge()
+        assert sorted(merged) == ["left", "right"]
+
+    def test_orset_add_wins_across_sites(self):
+        """Concurrent remove and fresh re-add: the re-add wins."""
+        cluster = Cluster(n_sites=2, default_latency_ms=5)
+        us, eu = cluster.stores["us"], cluster.stores["eu"]
+        s_us = TardisORSet(us, "s", session=us.session("w"))
+        s_us.add("x")
+        s_us.add("y")
+        cluster.run(until=50)
+        s_eu = TardisORSet(eu, "s", session=eu.session("w"))
+        s_us.remove("x")
+        s_eu.add("x")  # fresh tag: a genuine re-add, concurrent with it
+        cluster.run(until=150)
+        merged = TardisORSet(us, "s", session=us.session("m")).merge()
+        assert merged == frozenset({"x", "y"})
+
+    def test_orset_remove_wins_over_retention(self):
+        """A removal beats mere unobserved presence on the other branch."""
+        cluster = Cluster(n_sites=2, default_latency_ms=5)
+        us, eu = cluster.stores["us"], cluster.stores["eu"]
+        s_us = TardisORSet(us, "s", session=us.session("w"))
+        s_us.add("x")
+        s_us.add("y")
+        cluster.run(until=50)
+        s_eu = TardisORSet(eu, "s", session=eu.session("w"))
+        s_us.remove("x")
+        s_eu.add("z")  # does not touch x: retention only
+        cluster.run(until=150)
+        merged = TardisORSet(us, "s", session=us.session("m")).merge()
+        assert merged == frozenset({"y", "z"})
+
+    def test_counter_across_sites(self):
+        """Cross-site counter: StateID replication carries branch context."""
+        cluster = Cluster(n_sites=2, default_latency_ms=5)
+        us, eu = cluster.stores["us"], cluster.stores["eu"]
+        c_us = TardisCounter(us, "cnt", session=us.session("w"))
+        c_us.increment(0)
+        cluster.run(until=50)
+        c_eu = TardisCounter(eu, "cnt", session=eu.session("w"))
+        c_us.increment(3)
+        c_eu.increment(4)
+        cluster.run(until=150)
+        merged = TardisCounter(us, "cnt", session=us.session("m")).merge()
+        assert merged == 7
+        cluster.run(until=300)
+        # The merge replicated: eu reads the converged value.
+        assert TardisCounter(eu, "cnt", session=eu.session("m2")).value() == 7

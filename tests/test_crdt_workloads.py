@@ -1,0 +1,86 @@
+"""Tests for the Figure 14(b) CRDT benchmark workloads."""
+
+import random
+
+import pytest
+
+from repro.crdt.workloads import CRDT_KINDS, CrdtWorkload
+from repro.sim.adapters import TardisAdapter, TwoPLAdapter
+from repro.workload import RunConfig, run_simulation
+
+
+class TestCrdtWorkload:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrdtWorkload("Tree", "tardis")
+        with pytest.raises(ValueError):
+            CrdtWorkload("LWW", "mongodb")
+
+    def test_tardis_ops_single_key(self):
+        wl = CrdtWorkload("PN-C", "tardis", n_objects=2)
+        rng = random.Random(0)
+        for _ in range(50):
+            spec = wl.next_txn(rng)
+            keys = {op[1] for op in spec.ops}
+            assert len(keys) == 1  # a plain field
+
+    def test_seq_counter_reads_whole_vector(self):
+        wl = CrdtWorkload("PN-C", "seq", n_objects=1, n_replicas=3, remote_ratio=0)
+        rng = random.Random(0)
+        read_specs = [
+            s for s in (wl.next_txn(rng) for _ in range(200)) if s.read_only
+        ]
+        assert read_specs
+        # value() sums both vectors: 2 * n_replicas reads.
+        assert all(len(s.ops) == 6 for s in read_specs)
+
+    def test_seq_counter_write_is_rmw_own_entry(self):
+        wl = CrdtWorkload("PN-C", "seq", n_objects=1, remote_ratio=0, replica="r1")
+        rng = random.Random(1)
+        writes = [
+            s for s in (wl.next_txn(rng) for _ in range(300)) if not s.read_only
+        ]
+        assert writes
+        for spec in writes:
+            assert spec.ops[0][0] == "r" and spec.ops[1][0] == "w"
+            assert "r1" in spec.ops[0][1]
+
+    def test_remote_merge_touches_full_state(self):
+        wl = CrdtWorkload("PN-C", "seq", n_objects=1, n_replicas=3, remote_ratio=1.0)
+        spec = wl.next_txn(random.Random(0))
+        # merge = read + rewrite every per-replica entry of both vectors
+        assert len([op for op in spec.ops if op[0] == "r"]) == 6
+        assert len([op for op in spec.ops if op[0] == "w"]) == 6
+
+    def test_tardis_stream_has_no_remote_merges(self):
+        wl = CrdtWorkload("PN-C", "tardis", remote_ratio=0.5)
+        assert wl.remote_ratio == 0.0
+
+    def test_preload_matches_layout(self):
+        seq = CrdtWorkload("Set", "seq", n_objects=2)
+        assert set(seq.preload) == {
+            "crdt00/adds", "crdt00/removed", "crdt01/adds", "crdt01/removed"
+        }
+        tardis = CrdtWorkload("Set", "tardis", n_objects=2)
+        assert set(tardis.preload) == {"crdt00", "crdt01"}
+
+    @pytest.mark.parametrize("kind", CRDT_KINDS)
+    def test_all_kinds_run_on_both_systems(self, kind):
+        cfg = RunConfig(n_clients=4, duration_ms=30, warmup_ms=5, cores=4,
+                        maintenance_interval_ms=5)
+        t = run_simulation(
+            TardisAdapter(branching=True), CrdtWorkload(kind, "tardis"), cfg
+        )
+        s = run_simulation(TwoPLAdapter(), CrdtWorkload(kind, "seq"), cfg)
+        assert t.commits > 50
+        assert s.commits > 50
+
+    def test_counter_speedup_shape(self):
+        """TARDiS counters beat the sequential implementation (Fig 14b)."""
+        cfg = RunConfig(n_clients=8, duration_ms=60, warmup_ms=10, cores=4,
+                        maintenance_interval_ms=2)
+        t = run_simulation(
+            TardisAdapter(branching=True), CrdtWorkload("PN-C", "tardis"), cfg
+        )
+        s = run_simulation(TwoPLAdapter(), CrdtWorkload("PN-C", "seq"), cfg)
+        assert t.throughput_tps > 1.5 * s.throughput_tps

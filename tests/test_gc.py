@@ -1,0 +1,263 @@
+"""Tests for garbage collection: ceilings, DAG compression, record promotion."""
+
+import pytest
+
+from repro import TardisStore
+from repro.errors import GarbageCollectedError
+
+
+@pytest.fixture
+def store():
+    return TardisStore("A")
+
+
+def commit_chain(store, session, n, key="x"):
+    for i in range(n):
+        t = store.begin(session=session)
+        t.put(key, i)
+        t.commit()
+
+
+class TestCeilings:
+    def test_no_ceiling_no_collection(self, store):
+        sess = store.session("a")
+        commit_chain(store, sess, 10)
+        stats = store.collect_garbage()
+        assert stats.states_removed == 0
+        assert len(store.dag) == 11
+
+    def test_ceiling_compresses_chain(self, store):
+        sess = store.session("a")
+        commit_chain(store, sess, 10)
+        sess.place_ceiling()
+        stats = store.collect_garbage()
+        # Everything above the last commit is neither a fork point nor a
+        # leaf: the chain collapses to the single leaf state.
+        assert stats.states_removed == 10
+        assert len(store.dag) == 1
+        assert store.dag.root.id == sess.last_commit_id
+
+    def test_marked_states_not_selectable_as_read_state(self, store):
+        sess = store.session("a")
+        commit_chain(store, sess, 5)
+        sess.place_ceiling()
+        store.collect_garbage()
+        t = store.begin(session=sess)
+        assert t.read_state.id == sess.last_commit_id
+        t.commit()
+
+    def test_pinned_read_state_survives(self, store):
+        sess = store.session("a")
+        commit_chain(store, sess, 3)
+        pinned = store.begin(session=store.session("reader"))
+        read_id = pinned.read_state.id
+        commit_chain(store, sess, 3)
+        sess.place_ceiling()
+        store.gc.place_ceiling("reader", sess.last_commit_id)
+        stats = store.collect_garbage()
+        assert store.dag.get(read_id) is not None
+        # The pinned state blocks collection of its descendants' chain?
+        # No: only of itself; ancestors-all-safe still gates descendants.
+        pinned.commit()
+        stats2 = store.collect_garbage()
+        assert store.dag.get(read_id) is None
+        assert stats.states_removed + stats2.states_removed >= 5
+
+    def test_intersection_of_client_ceilings(self, store):
+        a, b = store.session("a"), store.session("b")
+        commit_chain(store, a, 4)
+        mid = a.last_commit_id
+        commit_chain(store, a, 4)
+        a.place_ceiling()
+        # b's ceiling lags at `mid`: states above mid are collectable,
+        # states between mid and a's ceiling are not.
+        store.gc.place_ceiling("b", mid)
+        store.collect_garbage()
+        assert store.dag.get(mid) is not None
+        assert len(store.dag) == 5  # mid + 4 newer states
+
+    def test_clear_ceiling(self, store):
+        sess = store.session("a")
+        commit_chain(store, sess, 3)
+        sess.place_ceiling()
+        store.gc.clear_ceiling(sess.name)
+        stats = store.collect_garbage()
+        assert stats.states_removed == 0
+
+
+class TestDagCompression:
+    def test_fork_points_survive(self, store):
+        a, b = store.session("a"), store.session("b")
+        store.put("x", 0, session=a)
+        t1, t2 = store.begin(session=a), store.begin(session=b)
+        t1.put("x", t1.get("x") + 1)
+        t2.put("x", t2.get("x") + 1)
+        t1.commit()
+        t2.commit()
+        fork_id = store.dag.fork_points_of(store.dag.leaves())[0].id
+        commit_chain(store, a, 5, key="y")
+        a.place_ceiling()
+        store.gc.place_ceiling("b", b.last_commit_id)
+        store.collect_garbage()
+        assert store.dag.get(fork_id) is not None
+
+    def test_merge_then_collect_collapses_fork(self, store):
+        a, b = store.session("a"), store.session("b")
+        store.put("x", 0, session=a)
+        t1, t2 = store.begin(session=a), store.begin(session=b)
+        t1.put("x", t1.get("x") + 1)
+        t2.put("x", t2.get("x") + 1)
+        t1.commit()
+        t2.commit()
+        m = store.begin_merge(session=a)
+        m.put("x", 2)
+        m.commit()
+        commit_chain(store, a, 3, key="y")
+        a.place_ceiling()
+        store.gc.place_ceiling("b", a.last_commit_id)
+        store.collect_garbage()
+        # The whole pre-merge history, including the fork point whose
+        # branches both collapsed into the merge, is gone.
+        assert len(store.dag) == 1
+
+    def test_promotion_redirects_reads(self, store):
+        """A record written long ago stays readable after compression."""
+        sess = store.session("a")
+        store.put("old", "value", session=sess)
+        commit_chain(store, sess, 10)
+        sess.place_ceiling()
+        store.collect_garbage()
+        t = store.begin(session=sess)
+        assert t.get("old") == "value"
+        t.commit()
+
+    def test_safety_semantics_preserved_across_gc(self, store):
+        """Branch isolation survives compression."""
+        a, b = store.session("a"), store.session("b")
+        store.put("x", 0, session=a)
+        t1, t2 = store.begin(session=a), store.begin(session=b)
+        t1.put("x", 100)
+        t1.get("x")
+        t2.put("x", 200)
+        t2.get("x")
+        t1.commit()
+        t2.commit()
+        commit_chain(store, a, 5, key="ya")
+        commit_chain(store, b, 5, key="yb")
+        a.place_ceiling()
+        b.place_ceiling()
+        store.collect_garbage()
+        ta = store.begin(session=a)
+        tb = store.begin(session=b)
+        assert ta.get("x") == 100
+        assert tb.get("x") == 200
+
+
+class TestRecordPromotion:
+    def test_stale_versions_dropped(self, store):
+        sess = store.session("a")
+        commit_chain(store, sess, 20, key="x")
+        assert store.versions.num_versions("x") == 20
+        sess.place_ceiling()
+        stats = store.collect_garbage()
+        assert store.versions.num_versions("x") == 1
+        assert stats.records_dropped == 19
+        assert store.versions.num_records() == 1
+        t = store.begin(session=sess)
+        assert t.get("x") == 19
+        t.commit()
+
+    def test_fork_point_version_kept(self, store):
+        a, b = store.session("a"), store.session("b")
+        store.put("x", 0, session=a)
+        t1, t2 = store.begin(session=a), store.begin(session=b)
+        t1.put("x", t1.get("x") + 1)
+        t2.put("x", t2.get("x") + 5)
+        t1.commit()
+        t2.commit()
+        commit_chain(store, a, 3, key="other")
+        a.place_ceiling()
+        store.gc.place_ceiling("b", b.last_commit_id)
+        store.collect_garbage()
+        # The fork-point version of x (value 0) is still needed for
+        # three-way merges and must survive.
+        m = store.begin_merge()
+        fork = m.find_fork_points()[0]
+        assert m.get_for_id("x", fork) == 0
+        m.abort()
+
+    def test_live_counts_reported(self, store):
+        sess = store.session("a")
+        commit_chain(store, sess, 5)
+        sess.place_ceiling()
+        stats = store.collect_garbage()
+        assert stats.live_states == len(store.dag)
+        assert stats.live_records == store.versions.num_records()
+
+    def test_flush_promotions(self, store):
+        sess = store.session("a")
+        commit_chain(store, sess, 5)
+        sess.place_ceiling()
+        stats = store.collect_garbage(flush_promotions=True)
+        assert stats.promotions_flushed > 0
+        assert store.dag.promotion_table_size == 0
+
+    def test_flushed_promotion_lookup_fails(self, store):
+        sess = store.session("a")
+        first = store.put("x", 1, session=sess)
+        commit_chain(store, sess, 5)
+        sess.place_ceiling()
+        store.collect_garbage(flush_promotions=True)
+        with pytest.raises(GarbageCollectedError):
+            store.dag.resolve(first)
+
+    def test_repeated_collection_is_idempotent(self, store):
+        sess = store.session("a")
+        commit_chain(store, sess, 10)
+        sess.place_ceiling()
+        store.collect_garbage()
+        stats = store.collect_garbage()
+        assert stats.states_removed == 0
+        assert stats.records_dropped == 0
+
+    def test_fork_path_scrubbing(self, store):
+        """Entries of fully collapsed forks disappear from live paths."""
+        a, b = store.session("a"), store.session("b")
+        store.put("x", 0, session=a)
+        t1, t2 = store.begin(session=a), store.begin(session=b)
+        t1.put("x", t1.get("x") + 1)
+        t2.put("x", t2.get("x") + 5)
+        t1.commit()
+        t2.commit()
+        m = store.begin_merge(session=a)
+        m.put("x", 6)
+        m.commit()
+        tail = store.begin(session=a)
+        tail.put("y", 1)
+        tail.commit()
+        assert len(store.dag.resolve(a.last_commit_id).fork_path) > 0
+        a.place_ceiling()
+        store.gc.place_ceiling("b", a.last_commit_id)
+        stats = store.collect_garbage()
+        assert stats.fork_entries_scrubbed > 0
+        # The surviving chain carries no fork-path entries at all.
+        for state in store.dag.states():
+            assert len(state.fork_path) == 0
+        # Visibility still correct after the scrub.
+        t = store.begin(session=a)
+        assert t.get("x") == 6
+        assert t.get("y") == 1
+        t.commit()
+        store.dag.check_invariants()
+
+    def test_gc_under_load_interleaved(self, store):
+        """Collect between batches; correctness of latest value holds."""
+        sess = store.session("a")
+        for batch in range(5):
+            commit_chain(store, sess, 10, key="k")
+            sess.place_ceiling()
+            store.collect_garbage()
+            t = store.begin(session=sess)
+            assert t.get("k") == 9
+            t.commit()
+        assert len(store.dag) <= 2

@@ -1,0 +1,168 @@
+"""Tests for the §6.4 partitioning extension."""
+
+import random
+
+import pytest
+
+from repro import TardisStore
+from repro.partitioning import PartitionedStore, ShardedRecordStore
+from repro.partitioning.sharded import default_shard_of
+from repro.replication.network import SimNetwork
+from repro.replication.replicator import Replicator
+from repro.sim.des import Simulator
+from repro.errors import TransactionAborted
+
+
+class TestShardedRecordStore:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedRecordStore(n_shards=0)
+
+    def test_routing_is_stable(self):
+        store = ShardedRecordStore(n_shards=4)
+        for key in ("a", "b", ("tuple", 1), 42):
+            assert store.shard_index(key) == store.shard_index(key)
+
+    def test_distribution_roughly_even(self):
+        counts = [0] * 8
+        for i in range(4000):
+            counts[default_shard_of("key%05d" % i, 8)] += 1
+        assert min(counts) > 4000 / 8 * 0.6
+        assert max(counts) < 4000 / 8 * 1.5
+
+    def test_custom_shard_function(self):
+        store = ShardedRecordStore(n_shards=2, shard_of=lambda k, n: 0)
+        from repro.core.state_dag import StateDAG
+
+        dag = StateDAG("A")
+        state = dag.create_state([dag.root])
+        store.write("x", state.id, 1)
+        store.write("y", state.id, 2)
+        assert store.balance() == [2, 0]
+
+
+class TestPartitionedStore:
+    def test_behaves_like_tardis_store(self):
+        """Property: identical schedule => identical outcomes vs unsharded."""
+        rng = random.Random(7)
+        schedule = []
+        for i in range(60):
+            ops = [
+                ("r" if rng.random() < 0.5 else "w", "k%d" % rng.randrange(8),
+                 rng.randrange(100))
+                for _ in range(rng.randint(1, 4))
+            ]
+            schedule.append(("s%d" % rng.randrange(3), ops))
+
+        def run(store):
+            outcomes = []
+            for session_name, ops in schedule:
+                txn = store.begin(session=store.session(session_name))
+                seen = []
+                for kind, key, value in ops:
+                    if kind == "r":
+                        seen.append(txn.get(key, default=None))
+                    else:
+                        txn.put(key, value)
+                try:
+                    txn.commit()
+                    outcomes.append(("ok", tuple(seen)))
+                except TransactionAborted:
+                    outcomes.append(("abort", tuple(seen)))
+            return outcomes
+
+        plain = run(TardisStore("A"))
+        sharded = run(PartitionedStore("A", n_shards=4))
+        assert plain == sharded
+
+    def test_records_spread_across_shards(self):
+        store = PartitionedStore("A", n_shards=4)
+        with store.begin() as txn:
+            for i in range(100):
+                txn.put("key%04d" % i, i)
+        balance = store.shard_balance()
+        assert sum(balance) == 100
+        assert all(b > 0 for b in balance)
+        assert sum(store.shard_accesses()) >= 100
+
+    def test_cross_shard_transaction_atomic(self):
+        store = PartitionedStore("A", n_shards=4, shard_of=lambda k, n: hash(k) % n)
+        with store.begin() as txn:
+            txn.put("a", 1)
+            txn.put("b", 2)
+            txn.put("c", 3)
+        txn = store.begin()
+        assert (txn.get("a"), txn.get("b"), txn.get("c")) == (1, 2, 3)
+        # One commit state covers all shards: atomicity via the DAG.
+        assert len(store.dag) == 2
+
+    def test_branching_and_merge_work_sharded(self):
+        store = PartitionedStore("A", n_shards=3)
+        a, b = store.session("a"), store.session("b")
+        store.put("x", 0, session=a)
+        t1, t2 = store.begin(session=a), store.begin(session=b)
+        t1.put("x", t1.get("x") + 1)
+        t2.put("x", t2.get("x") + 5)
+        t1.commit()
+        t2.commit()
+        assert store.metrics.forks == 1
+        merge = store.begin_merge(session=a)
+        fork = merge.find_fork_points()[0]
+        base = merge.get_for_id("x", fork)
+        merge.put("x", base + sum(v - base for v in merge.get_all("x")))
+        merge.commit()
+        assert store.get("x") == 6
+
+    def test_gc_prunes_every_shard(self):
+        store = PartitionedStore("A", n_shards=4)
+        sess = store.session("w")
+        for i in range(30):
+            txn = store.begin(session=sess)
+            for j in range(4):
+                txn.put("key%04d" % j, i)
+            txn.commit()
+        before = store.versions.num_records()
+        sess.place_ceiling()
+        stats = store.collect_garbage()
+        assert stats.records_dropped > 0
+        assert store.versions.num_records() < before
+        txn = store.begin(session=sess)
+        assert txn.get("key0000") == 29
+        txn.commit()
+
+    def test_replication_between_partitioned_datacenters(self):
+        """Two sharded datacenters replicate asynchronously (§6.4)."""
+        sim = Simulator()
+        network = SimNetwork(sim, default_latency_ms=10)
+        dc1 = PartitionedStore("dc1", n_shards=2)
+        dc2 = PartitionedStore("dc2", n_shards=4)  # shard counts differ
+        Replicator(dc1, network)
+        Replicator(dc2, network)
+        dc1.put("x", 1)
+        dc1.put("y", 2)
+        sim.run(until=100)
+        assert dc2.get("x") == 1
+        assert dc2.get("y") == 2
+        t = dc2.begin()
+        t.put("z", 3)
+        t.commit()
+        sim.run(until=200)
+        assert dc1.get("z") == 3
+
+    def test_checkpoint_recovery_with_shards(self, tmp_path):
+        from repro import recover_store
+
+        wal = str(tmp_path / "wal.log")
+        store = PartitionedStore("A", n_shards=3, wal_path=wal)
+        for i in range(10):
+            store.put("k%d" % i, i)
+        store.close()
+        recovered, report = recover_store(
+            "A",
+            wal,
+            store_factory=lambda site, **kw: PartitionedStore(site, n_shards=3, **kw),
+        )
+        assert report["replayed"] == 10
+        assert recovered.n_shards == 3
+        for i in range(10):
+            assert recovered.get("k%d" % i) == i

@@ -1,0 +1,192 @@
+"""Tests for fault tolerance: WAL logging, crash recovery, checkpoints (§6.5)."""
+
+import os
+
+import pytest
+
+from repro import TardisStore, checkpoint_store, recover_store
+
+
+def make_store(tmp_path, name="wal.log", sync=True, **kw):
+    return TardisStore("A", wal_path=str(tmp_path / name), wal_sync=sync, **kw)
+
+
+class TestRecovery:
+    def test_recover_linear_history(self, tmp_path):
+        store = make_store(tmp_path)
+        sess = store.session("a")
+        for i in range(5):
+            t = store.begin(session=sess)
+            t.put("x", i)
+            t.put("k%d" % i, i)
+            t.commit()
+        store.close()
+
+        recovered, report = recover_store("A", str(tmp_path / "wal.log"))
+        assert report["replayed"] == 5
+        assert report["discarded"] == 0
+        assert recovered.get("x") == 4
+        for i in range(5):
+            assert recovered.get("k%d" % i) == i
+        assert len(recovered.dag) == len(store.dag)
+
+    def test_recover_branched_history(self, tmp_path):
+        store = make_store(tmp_path)
+        a, b = store.session("a"), store.session("b")
+        store.put("x", 0, session=a)
+        t1, t2 = store.begin(session=a), store.begin(session=b)
+        t1.put("x", t1.get("x") + 1)
+        t2.put("x", t2.get("x") + 5)
+        t1.commit()
+        t2.commit()
+        m = store.begin_merge(session=a)
+        m.put("x", 6)
+        m.commit()
+        store.close()
+
+        recovered, report = recover_store("A", str(tmp_path / "wal.log"))
+        assert report["replayed"] == 4
+        assert recovered.get("x") == 6
+        assert recovered.dag.num_forks() == store.dag.num_forks()
+        # Branch structure identical: same leaves.
+        assert {l.id for l in recovered.dag.leaves()} == {
+            l.id for l in store.dag.leaves()
+        }
+
+    def test_recovered_store_continues(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("x", 1)
+        store.close()
+        recovered, _ = recover_store("A", str(tmp_path / "wal.log"))
+        sid = recovered.put("x", 2)
+        assert sid.counter > 1  # id allocation resumed past recovered ids
+        assert recovered.get("x") == 2
+
+    def test_async_flush_crash_loses_unflushed_suffix(self, tmp_path):
+        store = make_store(tmp_path, sync=False)
+        store.put("x", 1)
+        store.wal.flush()
+        store.put("x", 2)  # never flushed
+        store.wal.drop_buffered()  # crash
+        recovered, report = recover_store("A", str(tmp_path / "wal.log"))
+        assert report["replayed"] == 1
+        assert recovered.get("x") == 1
+
+    def test_torn_tail_recovers_prefix(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("x", 1)
+        store.put("x", 2)
+        store.close()
+        path = str(tmp_path / "wal.log")
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 4)
+        recovered, report = recover_store("A", path)
+        assert report["replayed"] == 1
+        assert recovered.get("x") == 1
+
+    def test_partial_record_persistence_discards_suffix(self, tmp_path):
+        """Without logged values, a missing record cuts the log there (§6.5)."""
+        store = make_store(tmp_path, log_values=False)
+        store.put("x", 1)
+        store.put("y", 2)
+        store.put("z", 3)
+        store.close()
+
+        persisted = {"x": 1, "z": 3}  # y's record never hit disk
+
+        def record_source(key, state_id):
+            from repro.core.recovery import _MISSING
+
+            return persisted.get(key, _MISSING)
+
+        recovered, report = recover_store(
+            "A", str(tmp_path / "wal.log"), record_source=record_source
+        )
+        # y's transaction and everything after it are discarded.
+        assert report["replayed"] == 1
+        assert report["discarded"] == 2
+        assert recovered.get("x") == 1
+        assert recovered.get("y") is None
+        assert recovered.get("z") is None
+
+    def test_metrics_count_replays_as_local(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("x", 1)
+        store.close()
+        recovered, _ = recover_store("A", str(tmp_path / "wal.log"))
+        assert recovered.metrics.remote_applied == 0
+
+
+class TestCheckpoint:
+    def test_checkpoint_and_recover(self, tmp_path):
+        store = make_store(tmp_path)
+        sess = store.session("a")
+        for i in range(10):
+            t = store.begin(session=sess)
+            t.put("x", i)
+            t.commit()
+        snap = str(tmp_path / "snap.ckpt")
+        n = checkpoint_store(store, snap)
+        assert n == len(store.dag)
+        # More commits after the checkpoint land in the compacted log.
+        store.put("x", 99, session=sess)
+        store.close()
+
+        recovered, report = recover_store(
+            "A", str(tmp_path / "wal.log"), snapshot_path=snap
+        )
+        assert report["checkpoint_states"] == n
+        assert report["replayed"] == 1
+        assert recovered.get("x") == 99
+
+    def test_checkpoint_compacts_log(self, tmp_path):
+        store = make_store(tmp_path)
+        for i in range(50):
+            store.put("x", i)
+        size_before = os.path.getsize(store.wal.path)
+        checkpoint_store(store, str(tmp_path / "snap.ckpt"))
+        size_after = os.path.getsize(store.wal.path)
+        assert size_after < size_before / 5
+        store.close()
+
+    def test_checkpoint_after_gc_preserves_promotions(self, tmp_path):
+        store = make_store(tmp_path)
+        sess = store.session("a")
+        first = store.put("old", "v", session=sess)
+        for i in range(10):
+            t = store.begin(session=sess)
+            t.put("x", i)
+            t.commit()
+        sess.place_ceiling()
+        store.collect_garbage()
+        snap = str(tmp_path / "snap.ckpt")
+        checkpoint_store(store, snap)
+        store.close()
+        recovered, _ = recover_store(
+            "A", str(tmp_path / "wal.log"), snapshot_path=snap
+        )
+        # The promoted id still resolves after recovery.
+        assert recovered.dag.resolve(first) is not None
+        assert recovered.get("old") == "v"
+
+    def test_recover_branched_checkpoint(self, tmp_path):
+        store = make_store(tmp_path)
+        a, b = store.session("a"), store.session("b")
+        store.put("x", 0, session=a)
+        t1, t2 = store.begin(session=a), store.begin(session=b)
+        t1.put("x", 1)
+        t1.get("x")
+        t2.put("x", 2)
+        t2.get("x")
+        t1.commit()
+        t2.commit()
+        snap = str(tmp_path / "snap.ckpt")
+        checkpoint_store(store, snap)
+        store.close()
+        recovered, _ = recover_store(
+            "A", str(tmp_path / "wal.log"), snapshot_path=snap
+        )
+        assert len(recovered.dag.leaves()) == 2
+        m = recovered.begin_merge()
+        assert sorted(m.get_all("x")) == [1, 2]
+        m.abort()

@@ -1,0 +1,143 @@
+"""Unit and property tests for the skip list (storage substrate)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.skiplist import SkipList
+
+
+class TestSkipListBasics:
+    def test_empty(self):
+        sl = SkipList(seed=1)
+        assert len(sl) == 0
+        assert not sl
+        assert list(sl) == []
+        assert 5 not in sl
+        assert sl.get(5) is None
+        assert sl.get(5, "d") == "d"
+
+    def test_insert_and_get(self):
+        sl = SkipList(seed=1)
+        sl.insert(3, "c")
+        sl.insert(1, "a")
+        sl.insert(2, "b")
+        assert len(sl) == 3
+        assert sl.get(1) == "a"
+        assert sl.get(2) == "b"
+        assert sl.get(3) == "c"
+
+    def test_sorted_ascending(self):
+        sl = SkipList(seed=1)
+        for k in [5, 3, 9, 1, 7]:
+            sl.insert(k, k * 10)
+        assert list(sl.keys()) == [1, 3, 5, 7, 9]
+        assert list(sl.values()) == [10, 30, 50, 70, 90]
+
+    def test_sorted_descending(self):
+        sl = SkipList(reverse=True, seed=1)
+        for k in [5, 3, 9, 1, 7]:
+            sl.insert(k, None)
+        assert list(sl.keys()) == [9, 7, 5, 3, 1]
+
+    def test_duplicate_insert_replaces(self):
+        sl = SkipList(seed=1)
+        sl.insert(1, "a")
+        sl.insert(1, "b")
+        assert len(sl) == 1
+        assert sl.get(1) == "b"
+
+    def test_remove(self):
+        sl = SkipList(seed=1)
+        for k in range(10):
+            sl.insert(k, k)
+        assert sl.remove(5)
+        assert not sl.remove(5)
+        assert 5 not in sl
+        assert len(sl) == 9
+        assert list(sl.keys()) == [0, 1, 2, 3, 4, 6, 7, 8, 9]
+
+    def test_remove_all(self):
+        sl = SkipList(seed=3)
+        for k in range(20):
+            sl.insert(k, k)
+        for k in range(20):
+            assert sl.remove(k)
+        assert len(sl) == 0
+        assert list(sl) == []
+
+    def test_first(self):
+        sl = SkipList(seed=1)
+        with pytest.raises(KeyError):
+            sl.first()
+        sl.insert(4, "d")
+        sl.insert(2, "b")
+        assert sl.first() == (2, "b")
+        rl = SkipList(reverse=True, seed=1)
+        rl.insert(4, "d")
+        rl.insert(2, "b")
+        assert rl.first() == (4, "d")
+
+    def test_items_from(self):
+        sl = SkipList(seed=1)
+        for k in [1, 3, 5, 7]:
+            sl.insert(k, k)
+        assert [k for k, _ in sl.items_from(3)] == [3, 5, 7]
+        assert [k for k, _ in sl.items_from(4)] == [5, 7]
+        assert [k for k, _ in sl.items_from(8)] == []
+
+    def test_tuple_keys(self):
+        sl = SkipList(reverse=True, seed=1)
+        sl.insert((1, "A"), None)
+        sl.insert((2, "A"), None)
+        sl.insert((1, "B"), None)
+        assert list(sl.keys()) == [(2, "A"), (1, "B"), (1, "A")]
+
+
+class TestSkipListProperties:
+    @given(st.lists(st.integers(-1000, 1000)))
+    @settings(max_examples=200)
+    def test_matches_sorted_set(self, keys):
+        sl = SkipList(seed=7)
+        for k in keys:
+            sl.insert(k, -k)
+        expected = sorted(set(keys))
+        assert list(sl.keys()) == expected
+        assert len(sl) == len(expected)
+        for k in expected:
+            assert sl.get(k) == -k
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["ins", "del"]), st.integers(0, 50)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=200)
+    def test_mixed_ops_match_dict(self, ops):
+        sl = SkipList(reverse=True, seed=11)
+        model = {}
+        for op, k in ops:
+            if op == "ins":
+                sl.insert(k, op)
+                model[k] = op
+            else:
+                assert sl.remove(k) == (k in model)
+                model.pop(k, None)
+        assert list(sl.keys()) == sorted(model, reverse=True)
+
+    def test_large_randomized(self):
+        rng = random.Random(42)
+        sl = SkipList(seed=42)
+        model = {}
+        for _ in range(5000):
+            k = rng.randrange(500)
+            if rng.random() < 0.7:
+                sl.insert(k, k)
+                model[k] = k
+            else:
+                assert sl.remove(k) == (k in model)
+                model.pop(k, None)
+        assert list(sl.keys()) == sorted(model)

@@ -1,0 +1,135 @@
+"""Tests for the §9 speculation prototype."""
+
+import random
+
+import pytest
+
+from repro import TardisStore
+from repro.speculation import SpeculativeExecutor
+from repro.speculation.executor import CONFIRMED, FAILED, PENDING, REEXECUTED, RemoteTxn
+
+
+def increment(key, by=1):
+    def program(txn):
+        value = txn.get(key, default=0) + by
+        txn.put(key, value)
+        return value
+
+    return program
+
+
+class TestSpeculation:
+    def test_speculative_result_immediate(self):
+        ex = SpeculativeExecutor()
+        spec = ex.submit(increment("x"))
+        assert spec.status == PENDING
+        assert spec.result == 1  # answered without waiting for the order
+        assert ex.read_speculative("x") == 1
+        assert ex.read_confirmed("x") is None  # not confirmed yet
+
+    def test_confirmation_without_conflict(self):
+        ex = SpeculativeExecutor()
+        spec = ex.submit(increment("x"))
+        survived = ex.deliver_confirmed([RemoteTxn(writes={"other": 5})])
+        assert survived
+        assert spec.status == CONFIRMED
+        assert spec.executions == 1
+        assert ex.read_confirmed("x") == 1
+        assert ex.read_confirmed("other") == 5
+
+    def test_empty_order_confirms(self):
+        ex = SpeculativeExecutor()
+        spec = ex.submit(increment("x"))
+        assert ex.deliver_confirmed([])
+        assert spec.status == CONFIRMED
+        assert ex.read_confirmed("x") == 1
+
+    def test_misspeculation_replays(self):
+        ex = SpeculativeExecutor()
+        spec = ex.submit(increment("x"))  # speculated from x=0 -> 1
+        # The confirmed order contains a conflicting remote write.
+        survived = ex.deliver_confirmed([RemoteTxn(writes={"x": 100})])
+        assert not survived
+        assert spec.status == REEXECUTED
+        assert spec.executions == 2
+        # The replay observed the confirmed value.
+        assert spec.result == 101
+        assert ex.read_confirmed("x") == 101
+        assert ex.misspeculations == 1
+        assert ex.reexecutions == 1
+
+    def test_replay_preserves_ticket_order(self):
+        ex = SpeculativeExecutor()
+        ex.submit(increment("x"))      # 1
+        ex.submit(increment("x", 10))  # 11
+        ex.deliver_confirmed([RemoteTxn(writes={"x": 100})])
+        assert ex.read_confirmed("x") == 111  # 100 + 1 + 10, in order
+
+    def test_speculation_isolated_until_confirmed(self):
+        """Confirmed readers never observe unconfirmed speculation."""
+        ex = SpeculativeExecutor()
+        ex.deliver_confirmed([RemoteTxn(writes={"x": 5})])
+        ex.submit(increment("x"))
+        assert ex.read_speculative("x") == 6
+        assert ex.read_confirmed("x") == 5
+
+    def test_failed_program(self):
+        ex = SpeculativeExecutor()
+
+        def broken(txn):
+            txn.put("x", 1)
+            raise RuntimeError("boom")
+
+        spec = ex.submit(broken)
+        assert spec.status == FAILED
+        assert ex.read_speculative("x") is None
+
+    def test_mixed_batches(self):
+        ex = SpeculativeExecutor()
+        rng = random.Random(3)
+        expected = 0
+        remote_value = 0
+        for round_index in range(20):
+            n = rng.randint(1, 3)
+            for _ in range(n):
+                ex.submit(increment("ctr"))
+                expected += 1
+            if rng.random() < 0.4:
+                remote_value += 1
+                ex.deliver_confirmed(
+                    [RemoteTxn(writes={"ctr": 1000 * remote_value})]
+                )
+                # the pending n increments replayed over the remote write
+                expected = 1000 * remote_value + n
+            else:
+                ex.deliver_confirmed([])
+        # Every submitted increment was applied exactly once over the
+        # latest confirmed base, in order.
+        assert ex.read_confirmed("ctr") == expected
+
+    def test_collect_abandoned_branches(self):
+        ex = SpeculativeExecutor()
+        for i in range(10):
+            ex.submit(increment("x"))
+            ex.deliver_confirmed([RemoteTxn(writes={"x": i * 100})])
+        removed = ex.collect_abandoned()
+        assert removed > 0
+        # Store still serves both views.
+        assert ex.read_confirmed("x") is not None
+
+    def test_latency_advantage_accounting(self):
+        """The point of speculating: results are available one batch
+        earlier than confirmation; misspeculation costs a re-execution."""
+        ex = SpeculativeExecutor()
+        early_answers = 0
+        for i in range(50):
+            spec = ex.submit(increment("k%d" % (i % 5)))
+            if spec.result is not None:
+                early_answers += 1
+            conflicting = i % 10 == 9
+            ex.deliver_confirmed(
+                [RemoteTxn(writes={"k%d" % (i % 5) if conflicting else "remote": i})]
+            )
+        assert early_answers == 50  # every client answered immediately
+        assert ex.misspeculations == 5
+        assert ex.reexecutions == 5

@@ -1,0 +1,111 @@
+"""Tests for the tooling: DOT export, store summaries, CLI."""
+
+import json
+
+import pytest
+
+from repro import TardisStore
+from repro.tools import dag_to_dot, describe_store, store_summary
+from repro.tools.cli import main
+
+
+@pytest.fixture
+def branched_store():
+    store = TardisStore("demo")
+    a, b = store.session("a"), store.session("b")
+    store.put("x", 0, session=a)
+    t1, t2 = store.begin(session=a), store.begin(session=b)
+    t1.put("x", t1.get("x") + 1)
+    t2.put("x", t2.get("x") + 2)
+    t1.commit()
+    t2.commit()
+    m = store.begin_merge(session=a)
+    m.put("x", 3)
+    m.commit()
+    return store
+
+
+class TestDot:
+    def test_valid_dot_structure(self, branched_store):
+        dot = dag_to_dot(branched_store)
+        assert dot.startswith("digraph tardis {")
+        assert dot.endswith("}")
+        # one node line per state
+        assert dot.count("->") >= len(branched_store.dag) - 1
+
+    def test_styles_reflect_roles(self, branched_store):
+        dot = dag_to_dot(branched_store)
+        assert "lightblue" in dot  # fork point
+        assert "khaki" in dot      # merge state
+        assert "palegreen" in dot  # leaf
+
+    def test_write_labels(self, branched_store):
+        dot = dag_to_dot(branched_store)
+        assert "{x}" in dot
+        bare = dag_to_dot(branched_store, show_writes=False)
+        assert "{x}" not in bare
+
+    def test_label_key_cap(self):
+        store = TardisStore("demo")
+        with store.begin() as t:
+            for i in range(10):
+                t.put("key%d" % i, i)
+        dot = dag_to_dot(store, max_label_keys=2)
+        assert "..." in dot
+
+
+class TestSummary:
+    def test_summary_fields(self, branched_store):
+        summary = store_summary(branched_store)
+        assert summary["states"] == len(branched_store.dag)
+        assert summary["fork_points"] == 1
+        assert summary["merges"] == 1
+        assert summary["commits"] == 4
+        assert summary["leaves"] == 1
+
+    def test_describe_store(self, branched_store):
+        text = describe_store(branched_store, keys=["x"])
+        assert "site 'demo'" in text
+        assert "'x'" in text and "3" in text
+        assert "branches" in text
+
+
+class TestCli:
+    def test_bench_command(self, capsys):
+        rc = main([
+            "bench", "--system", "tardis", "--mix", "read-heavy",
+            "--clients", "2", "--duration", "20", "--cores", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tardis" in out and "txn/s" in out
+
+    def test_bench_json(self, capsys):
+        rc = main([
+            "bench", "--system", "bdb", "--mix", "write-heavy",
+            "--clients", "2", "--duration", "20", "--cores", "2", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"] == "bdb"
+        assert payload["throughput_tps"] > 0
+        assert set(payload["op_breakdown_ms"]) == {"begin", "get", "put", "commit"}
+
+    def test_demo_command(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "counter" in out
+
+    def test_demo_dot(self, capsys):
+        assert main(["demo", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_recover_command(self, tmp_path, capsys):
+        wal = str(tmp_path / "wal.log")
+        store = TardisStore("A", wal_path=wal)
+        store.put("x", 42)
+        store.close()
+        assert main(["recover", wal]) == 0
+        out = capsys.readouterr().out
+        assert '"replayed": 1' in out
+        assert "recovered" in out
