@@ -107,6 +107,12 @@ def test_ablation_forkpath_metadata(benchmark):
     report.line("tracking would grow with history (~%.0f entries/state):"
                 % dependency_entries)
     report.line("the metadata reduction conflict tracking buys (§3, §6.1.3).")
+    report.metric("commits", commits)
+    report.metric("forks", forks)
+    report.metric("fork_path_mean_steady", peak_mean)
+    report.metric("fork_path_max_steady", peak_max)
+    report.metric("fork_path_mean_after_gc", mean_path)
+    report.metric("dependency_entries_equivalent", dependency_entries)
     report.finish()
 
     assert peak_mean < 20
@@ -154,5 +160,9 @@ def test_ablation_merge_scaling(benchmark):
     report.line()
     report.line("merging more branches costs more — the complexity K-Branching")
     report.line("lets applications bound (§5.1).")
+    for b, c, ms in results:
+        report.metric(
+            "branches_%d" % b, {"conflict_keys": c, "merge_wall_ms": ms}
+        )
     report.finish()
     assert all(c >= 1 for _b, c, _ms in results)

@@ -137,6 +137,15 @@ def test_ablation_kbranching_sweep(benchmark):
     report.line()
     report.line("k=2 is NoBranching (abort on conflict); larger k buys throughput")
     report.line("at the cost of more concurrent branches to merge.")
+    for k, r in results.items():
+        report.metric(
+            "k%d" % k,
+            {
+                "throughput_tps": r.throughput_tps,
+                "aborts": r.aborts,
+                "forks": r.adapter_stats.get("forks", 0),
+            },
+        )
     report.finish()
     # More allowed branching -> fewer aborts and at least as much tput.
     assert results[9].aborts < results[2].aborts

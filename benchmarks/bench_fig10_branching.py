@@ -28,6 +28,7 @@ from common import (
     config,
     fmt_tps,
     run_once,
+    sweep_metrics,
 )
 
 
@@ -65,6 +66,8 @@ def _report(panel, label, results, clients):
             at_load["TARDiS"] / max(at_load["OCC"], 1),
         )
     )
+    report.config["label"] = label
+    sweep_metrics(report, SYSTEMS, results, clients)
     report.finish()
     return peak, at_load
 

@@ -86,6 +86,14 @@ def test_fig11_constraint_choice(benchmark):
             results["Anc-Ser"].throughput_tps / results["Anc-SI"].throughput_tps,
         )
     )
+    report.config["n_clients"] = ELBOW_CLIENTS
+    report.config["mix"] = "write-heavy"
+    for name, _f in CONFIGS:
+        report.result(name, results[name])
+    report.metric(
+        "ancestor_over_parent",
+        results["Anc-Ser"].throughput_tps / results["Parent-Ser"].throughput_tps,
+    )
     report.finish()
 
     # Ancestor beats Parent.

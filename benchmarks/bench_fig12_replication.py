@@ -64,6 +64,22 @@ def test_fig12_replication_scalability(benchmark):
         % (rh3 / rh1, wh3 / wh1)
     )
     report.line("applies never contend with local transactions)")
+    report.config["sites"] = SITES
+    for mix in (READ_HEAVY, WRITE_HEAVY):
+        report.metric(
+            "%s_aggregate_tps_by_sites" % mix,
+            [r.aggregate_tps for r in results[mix]],
+        )
+        report.metric(
+            "%s_messages_by_sites" % mix, [r.messages for r in results[mix]]
+        )
+    # Replication counters from the 3-site write-heavy run.
+    obs = results[WRITE_HEAVY][-1].obs_metrics
+    for name, data in sorted(obs.items()):
+        if data.get("type") == "counter" and name.startswith("tardis_repl"):
+            report.metric(name, data["value"])
+    report.metric("rh_scaling_1_to_3", rh3 / rh1)
+    report.metric("wh_scaling_1_to_3", wh3 / wh1)
     report.finish()
 
     # Near-linear aggregate scaling.

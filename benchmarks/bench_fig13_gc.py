@@ -100,6 +100,14 @@ def test_fig13_gc_impact(benchmark):
             nogc_rows[-1][3],
         )
     )
+    report.result("gc", gc_result)
+    report.result("nogc", nogc_result)
+    report.metric("gc_tput_first", first_gc)
+    report.metric("gc_tput_last", last_gc)
+    report.metric("nogc_tput_first", first_nogc)
+    report.metric("nogc_tput_last", last_nogc)
+    report.metric("gc_final_states", gc_rows[-1][2])
+    report.metric("nogc_final_states", nogc_rows[-1][2])
     report.finish()
 
     # GC keeps throughput flat; no-GC collapses over the run.

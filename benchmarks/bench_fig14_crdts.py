@@ -115,6 +115,10 @@ def test_fig14a_crdt_lines_of_code(benchmark):
     )
     report.line("the savings concentrate where causality must be tracked"
                 " explicitly: counters and the MV register)")
+    for kind, (t, s) in rows.items():
+        report.metric("loc_%s" % kind, {"tardis": t, "sequential": s})
+    report.metric("loc_ratio_mean", mean_ratio)
+    report.metric("loc_ratio_total", total_ratio)
     report.finish()
     # The TARDiS implementations are substantially smaller in aggregate;
     # the biggest wins are the types that otherwise need vectors.
@@ -150,6 +154,15 @@ def test_fig14b_crdt_throughput(benchmark):
     report.line()
     report.line("(sequential column = local ops/s: each remote operation")
     report.line(" costs it a full-state merge; TARDiS batches merges)")
+    for kind, (t, s) in rows.items():
+        report.metric(
+            "tput_%s" % kind,
+            {
+                "tardis_tps": t.throughput_tps,
+                "sequential_local_tps": _seq_local(s),
+                "speedup": t.throughput_tps / _seq_local(s),
+            },
+        )
     report.finish()
     for kind, (t, s) in rows.items():
         assert t.throughput_tps > 2.0 * _seq_local(s), kind
@@ -186,6 +199,8 @@ def test_fig14d_counter_goodput(benchmark):
     )
     report.line()
     report.line("(paper: TARDiS 0.96; BDB/OCC waste almost half the time)")
+    report.result("tardis", rows["tardis"])
+    report.result("seq", rows["seq"])
     report.finish()
     assert rows["tardis"].goodput > 0.9
     assert rows["seq"].goodput < rows["tardis"].goodput

@@ -75,6 +75,14 @@ def test_fig14c_retwis_throughput(benchmark):
             row.append("%.2f" % results[(mix, name)].goodput)
         goodput_rows.append(row)
     report.table(["workload", "TARDiS", "BDB", "OCC"], goodput_rows, widths=[13, 11, 11, 11])
+    for mix in MIXES:
+        for name, _f in SYSTEMS:
+            r = results[(mix, name)]
+            report.metric(
+                "%s_%s" % (mix, name),
+                {"throughput_tps": r.throughput_tps, "goodput": r.goodput},
+            )
+    report.result("post_heavy_tardis", results[(POST_HEAVY, "TARDiS")])
     report.finish()
 
     # Read-only: branching does not help (within noise of BDB).

@@ -21,6 +21,7 @@ from common import (
     config,
     fmt_tps,
     run_once,
+    sweep_metrics,
 )
 
 
@@ -65,6 +66,8 @@ def _report(panel, mix, results):
         "TARDiS/BDB = %.2f (paper: ~0.9, within 10%%)   OCC/BDB = %.2f (paper: behind both)"
         % (peak["TARDiS"] / peak["BDB"], peak["OCC"] / peak["BDB"])
     )
+    report.config["mix"] = mix
+    sweep_metrics(report, SYSTEMS_NO_BRANCHING, results, CLIENT_SWEEP)
     report.finish()
     return peak
 

@@ -74,6 +74,8 @@ def test_speculation_conflict_sweep(benchmark):
     report.line("every transaction was answered speculatively without waiting")
     report.line("for the confirmed order; replay overhead tracks the conflict")
     report.line("rate, and abandoned branches are garbage collected.")
+    for rate in rates:
+        report.metric("conflict_%.0fpct" % (rate * 100), dict(results[rate]))
     report.finish()
 
     assert results[0.0]["misspeculations"] == 0

@@ -73,6 +73,10 @@ def test_table3_op_breakdown(benchmark):
         "TARDiS get inflation RH->WH-zipf: %.1fx (paper: mild, fork paths)"
         % (tardis_get_zipf / tardis_get_rh)
     )
+    for key, breakdown in results.items():
+        report.metric("%s_%s_op_ms" % key, dict(breakdown))
+    report.metric("bdb_get_inflation", bdb_get_zipf / bdb_get_rh)
+    report.metric("tardis_get_inflation", tardis_get_zipf / tardis_get_rh)
     report.finish()
     # Shape assertions.
     assert bdb_get_zipf / bdb_get_rh > 2.5  # BDB reads wait behind hot locks

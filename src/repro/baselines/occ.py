@@ -20,6 +20,7 @@ import itertools
 from typing import Any, Dict, List, Set, Tuple
 
 from repro.errors import KeyNotFound, TransactionClosed, ValidationError
+from repro.obs import metrics as _met
 from repro.storage.btree import BTree
 
 ACTIVE = "active"
@@ -127,12 +128,16 @@ class OCCStore:
     def commit(self, txn: OCCTransaction) -> None:
         self._check(txn)
         try:
-            self.validate(txn)
+            checks = self.validate(txn)
         except ValidationError:
             txn.status = ABORTED
             self.aborts += 1
             self.validation_failures += 1
             self._active_starts.pop(txn.txn_id, None)
+            m = _met.DEFAULT
+            if m.enabled:
+                m.inc("baseline_occ_abort_total")
+                m.inc("baseline_occ_validation_fail_total")
             raise
         for key, value in txn.writes.items():
             self._records.insert(key, value)
@@ -144,6 +149,10 @@ class OCCStore:
         txn.status = COMMITTED
         self.commits += 1
         self._active_starts.pop(txn.txn_id, None)
+        m = _met.DEFAULT
+        if m.enabled:
+            m.inc("baseline_occ_commit_total")
+            m.observe("baseline_occ_validation_checks", checks)
         self._prune_history()
 
     def abort(self, txn: OCCTransaction) -> None:

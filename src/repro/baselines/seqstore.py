@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.baselines.locks import LockManager, LockMode, LockRequest
 from repro.errors import KeyNotFound, TransactionClosed
+from repro.obs import metrics as _met
 from repro.storage.btree import BTree
 
 ACTIVE = "active"
@@ -143,12 +144,20 @@ class TwoPhaseLockingStore:
             self._records.insert(key, value)
         txn.status = COMMITTED
         self.commits += 1
+        m = _met.DEFAULT
+        if m.enabled:
+            m.inc("baseline_2pl_commit_total")
         return self.locks.release_all(txn.txn_id)
 
     def abort(self, txn: LockingTransaction) -> List[LockRequest]:
         self._check(txn)
         txn.status = ABORTED
         self.aborts += 1
+        m = _met.DEFAULT
+        if m.enabled:
+            m.inc("baseline_2pl_abort_total")
+            m.set_gauge("baseline_2pl_deadlocks", self.locks.deadlocks)
+            m.set_gauge("baseline_2pl_lock_waits", self.locks.waits)
         return self.locks.release_all(txn.txn_id)
 
 

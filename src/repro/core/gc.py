@@ -30,6 +30,8 @@ from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.core.ids import StateId
 from repro.errors import GarbageCollectedError
+from repro.obs import metrics as _met
+from repro.obs import tracing as _trc
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.store import TardisStore
@@ -100,6 +102,26 @@ class GarbageCollector:
                 stats.promotions_flushed = flushed - dag.promotion_table_size
             stats.live_states = len(dag)
             stats.live_records = store.versions.num_records()
+        m = _met.DEFAULT
+        if m.enabled:
+            m.inc("tardis_gc_cycle_total")
+            m.inc("tardis_gc_states_removed_total", stats.states_removed)
+            m.inc("tardis_gc_records_promoted_total", stats.records_promoted)
+            m.inc("tardis_gc_records_dropped_total", stats.records_dropped)
+            m.set_gauge("tardis_gc_live_states", stats.live_states)
+            m.set_gauge("tardis_gc_live_records", stats.live_records)
+            m.set_gauge("tardis_gc_promotion_table", dag.promotion_table_size)
+        t = _trc.DEFAULT
+        if t.enabled:
+            t.event(
+                "gc.cycle",
+                site=store.site,
+                marked=stats.marked,
+                removed=stats.states_removed,
+                promoted=stats.records_promoted,
+                dropped=stats.records_dropped,
+                live_states=stats.live_states,
+            )
         return stats
 
     # -- pass 1: ceiling marking (bottom-up) --------------------------------

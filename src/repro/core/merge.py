@@ -23,6 +23,7 @@ from repro.core.ids import StateId
 from repro.core.state_dag import State
 from repro.core.transaction import BaseTransaction, TOMBSTONE, _RAISE
 from repro.errors import KeyNotFound, MultipleValuesError
+from repro.obs import metrics as _met
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.constraints import Constraint
@@ -128,7 +129,11 @@ class MergeTransaction(BaseTransaction):
             states = self.read_states
         else:
             states = [self.dag.resolve(sid) for sid in state_ids]
-        return self._store._conflict_writes(states)
+        conflicts = self._store._conflict_writes(states)
+        m = _met.DEFAULT
+        if m.enabled:
+            m.observe("tardis_merge_conflict_keys", len(conflicts))
+        return conflicts
 
     # -- commit ---------------------------------------------------------------
 

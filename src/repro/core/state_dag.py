@@ -29,6 +29,8 @@ from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional
 from repro.core.fork_path import ForkPath, ForkPoint
 from repro.core.ids import ROOT_ID, IdAllocator, StateId
 from repro.errors import GarbageCollectedError
+from repro.obs import metrics as _met
+from repro.obs import tracing as _trc
 
 
 class State:
@@ -220,6 +222,9 @@ class StateDAG:
             state.fork_path = state.fork_path.add(point)
             stack.extend(state.children)
             self.retro_updates += 1
+        m = _met.DEFAULT
+        if m.enabled:
+            m.inc("tardis_dag_retro_updates_total", len(visited))
 
     # -- visibility (Figure 7) ---------------------------------------------
 
@@ -357,6 +362,12 @@ class StateDAG:
             self.root = child
         del self._states[state.id]
         self._promotions[state.id] = child.id
+        m = _met.DEFAULT
+        if m.enabled:
+            m.inc("tardis_dag_splice_total")
+        t = _trc.DEFAULT
+        if t.enabled:
+            t.event("gc.promotion", state=state.id, promoted_to=child.id, site=self.site)
         return child
 
     def promotion_of(self, state_id: StateId) -> Optional[StateId]:

@@ -47,6 +47,8 @@ from repro.core.transaction import (
     _NOT_FOUND,
 )
 from repro.core.versions import VersionedRecordStore
+from repro.obs import metrics as _met
+from repro.obs import tracing as _trc
 from repro.errors import (
     BeginError,
     GarbageCollectedError,
@@ -203,6 +205,10 @@ class TardisStore:
             txn = Transaction(self, session, state, constraint, read_only=read_only)
             txn.trace.begin_visits = visits[0]
             state.pins += 1
+        m = _met.DEFAULT
+        if m.enabled:
+            m.inc("tardis_txn_begin_total")
+            m.observe("tardis_begin_visits", visits[0])
         return txn
 
     def begin_merge(
@@ -245,6 +251,10 @@ class TardisStore:
         for state in _read_states_of(txn):
             if state.pins > 0:
                 state.pins -= 1
+        if status == ABORTED:
+            m = _met.DEFAULT
+            if m.enabled:
+                m.inc("tardis_txn_abort_total")
 
     # -- reads (called by transactions) ------------------------------------------
 
@@ -298,6 +308,9 @@ class TardisStore:
                 txn.commit_id = txn.read_state.id
                 txn.session.last_commit_id = txn.read_state.id
                 self._finish(txn, COMMITTED)
+                m = _met.DEFAULT
+                if m.enabled:
+                    m.inc("tardis_txn_commit_readonly_total")
                 return txn.commit_id
             if not constraint.can_end:
                 self._finish(txn, ABORTED)
@@ -321,6 +334,9 @@ class TardisStore:
             if not constraint.allows_commit_at(current, txn):
                 self._finish(txn, ABORTED)
                 self.metrics.aborts += 1
+                t = _trc.DEFAULT
+                if t.enabled:
+                    t.event("txn.abort", reason="end-constraint", site=self.site)
                 raise TransactionAborted(
                     "no commit state satisfies end constraint %s" % constraint.name
                 )
@@ -339,6 +355,25 @@ class TardisStore:
             txn.session.last_commit_id = state.id
             self._finish(txn, COMMITTED)
             self._log_commit(state, txn.writes)
+            m = _met.DEFAULT
+            if m.enabled:
+                m.inc("tardis_txn_commit_total")
+                m.observe("tardis_commit_ripple_steps", txn.trace.ripple_steps)
+                m.observe("tardis_txn_write_keys", len(txn.writes))
+                if created_fork:
+                    m.inc("tardis_branch_fork_total")
+            t = _trc.DEFAULT
+            if t.enabled:
+                t.event(
+                    "txn.commit",
+                    state=state.id,
+                    writes=len(txn.writes),
+                    ripple=txn.trace.ripple_steps,
+                    fork=created_fork,
+                    site=self.site,
+                )
+                if created_fork:
+                    t.event("branch.fork", state=state.id, parent=current.id, site=self.site)
         self._notify_commit(state, txn.writes)
         return state.id
 
@@ -350,6 +385,11 @@ class TardisStore:
                     if not constraint.allows_commit_at(parent, txn):
                         self._finish(txn, ABORTED)
                         self.metrics.aborts += 1
+                        t = _trc.DEFAULT
+                        if t.enabled:
+                            t.event(
+                                "txn.abort", reason="merge-end-constraint", site=self.site
+                            )
                         raise TransactionAborted(
                             "merge parent %r fails end constraint %s"
                             % (parent.id, constraint.name)
@@ -366,6 +406,21 @@ class TardisStore:
             txn.session.last_commit_id = state.id
             self._finish(txn, COMMITTED)
             self._log_commit(state, txn.writes)
+            m = _met.DEFAULT
+            if m.enabled:
+                m.inc("tardis_txn_commit_total")
+                m.inc("tardis_branch_merge_total")
+                m.observe("tardis_merge_parents", len(txn.read_states))
+                m.observe("tardis_txn_write_keys", len(txn.writes))
+            t = _trc.DEFAULT
+            if t.enabled:
+                t.event(
+                    "branch.merge",
+                    state=state.id,
+                    parents=[p.id for p in txn.read_states],
+                    writes=len(txn.writes),
+                    site=self.site,
+                )
         self._notify_commit(state, txn.writes)
         return state.id
 
@@ -446,6 +501,9 @@ class TardisStore:
             self._install_writes(state, writes, trace)
             self.metrics.remote_applied += 1
             self._log_commit(state, writes)
+            m = _met.DEFAULT
+            if m.enabled:
+                m.inc("tardis_repl_remote_apply_total")
         return state.id
 
     # -- convenience autocommit helpers ----------------------------------------

@@ -15,6 +15,7 @@ from typing import Any, Dict, FrozenSet, Optional, Set, TYPE_CHECKING
 
 from repro.core.ids import StateId
 from repro.core.state_dag import State, StateDAG
+from repro.obs import tracing as _trc
 from repro.errors import (
     KeyNotFound,
     ReadOnlyViolation,
@@ -123,6 +124,9 @@ class BaseTransaction:
         """Abandon the transaction; buffered writes are discarded."""
         self._check_active()
         self._store._finish(self, ABORTED)
+        t = _trc.DEFAULT
+        if t.enabled:
+            t.event("txn.abort", reason="user", site=self._store.site)
 
     def commit(self, end_constraint: Optional["Constraint"] = None) -> StateId:
         raise NotImplementedError

@@ -1,0 +1,73 @@
+"""Observability: metrics registry, branch-aware tracing, exporters.
+
+Zero-dependency, near-zero-overhead when disabled. See
+docs/internals.md §8 for the metric name catalogue and usage patterns.
+
+Quick start::
+
+    from repro import obs
+
+    obs.enable()                       # turn on the default registry+tracer
+    store = TardisStore("siteA")
+    ...                                # run transactions
+    print(obs.to_prometheus(obs.metrics.DEFAULT))
+    for event in obs.tracing.DEFAULT.events(kind="branch.fork"):
+        print(event)
+"""
+
+from repro.obs import metrics, tracing
+from repro.obs.export import (
+    diff,
+    histogram_from_snapshot,
+    snapshot,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+    use_registry,
+)
+from repro.obs.tracing import (
+    Span,
+    TraceEvent,
+    Tracer,
+    default_tracer,
+    set_default_tracer,
+    use_tracer,
+)
+
+
+def enable(on: bool = True) -> None:
+    """Toggle both the default registry and the default tracer."""
+    metrics.enable(on)
+    tracing.enable(on)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "default_registry",
+    "default_tracer",
+    "diff",
+    "enable",
+    "histogram_from_snapshot",
+    "metrics",
+    "set_default_registry",
+    "set_default_tracer",
+    "snapshot",
+    "to_json",
+    "to_prometheus",
+    "tracing",
+    "use_registry",
+    "use_tracer",
+]

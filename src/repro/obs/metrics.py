@@ -1,0 +1,421 @@
+"""Metrics primitives: counters, gauges, log-bucketed histograms.
+
+A :class:`MetricsRegistry` is a thread-safe namespace of named metrics.
+The registry carries a single cheap ``enabled`` flag so instrumented hot
+paths can skip all work with one attribute check::
+
+    from repro.obs import metrics as obs
+
+    reg = obs.DEFAULT
+    if reg.enabled:
+        reg.inc("tardis_txn_commit_total")
+
+Histograms are **fixed log-linear buckets** (HdrHistogram-style): each
+power of two is split into :data:`Histogram.SUBBUCKETS` linear
+sub-buckets, so ``record`` is O(1), memory is proportional to the number
+of *occupied* buckets (a sparse dict), and two histograms recorded on
+different threads or sites merge by adding bucket counts. Quantile
+estimates are bucket midpoints, so the relative error is bounded by
+``1 / SUBBUCKETS`` (see :meth:`Histogram.quantile`). This is the
+contrast with :class:`repro.workload.stats.LatencyStats`, which keeps
+every sample.
+
+The module-level :data:`DEFAULT` registry starts **disabled**: the
+library records nothing until a consumer turns it on (``enable()``) or
+installs its own registry (``use_registry``), so un-instrumented users
+pay only the flag check.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT",
+    "default_registry",
+    "set_default_registry",
+    "enable",
+    "use_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def merge(self, other: "Counter") -> None:
+        self.inc(other._value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self._value}
+
+    def __repr__(self) -> str:
+        return "<Counter %s=%d>" % (self.name, self._value)
+
+
+class Gauge:
+    """A named value that can go up and down (live states, queue depth)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    def merge(self, other: "Gauge") -> None:
+        # Merging gauges across threads/sites: sum (live states per site
+        # add up; consumers wanting max can read per-site registries).
+        self.add(other._value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self._value}
+
+    def __repr__(self) -> str:
+        return "<Gauge %s=%r>" % (self.name, self._value)
+
+
+class Histogram:
+    """Streaming log-linear histogram: O(1) record, bounded error.
+
+    Bucket layout: a positive value ``v`` with ``frexp(v) == (m, e)``
+    (``m`` in ``[0.5, 1)``) lands in bucket ``e * SUBBUCKETS + sub``
+    where ``sub = floor((2m - 1) * SUBBUCKETS)``. Bucket ``(e, sub)``
+    spans ``[2**(e-1) * (1 + sub/S), 2**(e-1) * (1 + (sub+1)/S))`` so
+    the relative bucket width is at most ``1/SUBBUCKETS``. Zero and
+    negative values are counted in a dedicated zero bucket.
+    """
+
+    kind = "histogram"
+    SUBBUCKETS = 16
+
+    __slots__ = (
+        "name",
+        "help",
+        "_buckets",
+        "_zero",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_lock",
+    )
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._buckets: Dict[int, int] = {}
+        self._zero = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    # -- recording -------------------------------------------------------
+
+    @classmethod
+    def bucket_index(cls, value: float) -> Optional[int]:
+        """The bucket index of ``value``; None for the zero bucket."""
+        if value <= 0.0:
+            return None
+        m, e = math.frexp(value)
+        sub = int((m * 2.0 - 1.0) * cls.SUBBUCKETS)
+        if sub >= cls.SUBBUCKETS:  # m rounded up to 1.0
+            sub = cls.SUBBUCKETS - 1
+        return e * cls.SUBBUCKETS + sub
+
+    @classmethod
+    def bucket_bounds(cls, index: int) -> Tuple[float, float]:
+        """``[lo, hi)`` bounds of bucket ``index``."""
+        e, sub = divmod(index, cls.SUBBUCKETS)
+        base = math.ldexp(1.0, e - 1)
+        lo = base * (1.0 + sub / cls.SUBBUCKETS)
+        hi = base * (1.0 + (sub + 1) / cls.SUBBUCKETS)
+        return lo, hi
+
+    def record(self, value: float) -> None:
+        index = self.bucket_index(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if index is None:
+                self._zero += 1
+            else:
+                self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (cross-thread / cross-site merge)."""
+        with other._lock:
+            buckets = dict(other._buckets)
+            zero, count = other._zero, other._count
+            total, lo, hi = other._sum, other._min, other._max
+        with self._lock:
+            for index, n in buckets.items():
+                self._buckets[index] = self._buckets.get(index, 0) + n
+            self._zero += zero
+            self._count += count
+            self._sum += total
+            self._min = min(self._min, lo)
+            self._max = max(self._max, hi)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]).
+
+        Returns the midpoint of the bucket holding the rank-``ceil(qN)``
+        sample, clamped to the observed min/max — so the estimate's
+        relative error is at most ``1 / SUBBUCKETS``.
+        """
+        with self._lock:
+            count = self._count
+            if not count:
+                return 0.0
+            rank = max(1, min(count, math.ceil(q * count)))
+            cumulative = self._zero
+            if rank <= cumulative:
+                return 0.0
+            for index in sorted(self._buckets):
+                cumulative += self._buckets[index]
+                if rank <= cumulative:
+                    lo, hi = self.bucket_bounds(index)
+                    mid = (lo + hi) / 2.0
+                    return max(self._min, min(self._max, mid))
+            return self._max
+
+    def percentile(self, p: float) -> float:
+        return self.quantile(p / 100.0)
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Occupied buckets as ``(upper_bound, count)``, ascending."""
+        with self._lock:
+            out = [(0.0, self._zero)] if self._zero else []
+            for index in sorted(self._buckets):
+                out.append((self.bucket_bounds(index)[1], self._buckets[index]))
+        return out
+
+    def to_dict(self, include_buckets: bool = False) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p90": self.quantile(0.90),
+            "p99": self.p99,
+        }
+        if include_buckets:
+            with self._lock:
+                data["zero"] = self._zero
+                data["buckets"] = {str(i): n for i, n in sorted(self._buckets.items())}
+        return data
+
+    def __repr__(self) -> str:
+        return "<Histogram %s n=%d mean=%.4g>" % (self.name, self._count, self.mean)
+
+
+class MetricsRegistry:
+    """A thread-safe namespace of named metrics.
+
+    ``get-or-create`` accessors (:meth:`counter`, :meth:`gauge`,
+    :meth:`histogram`) are idempotent; convenience recorders
+    (:meth:`inc`, :meth:`observe`, :meth:`set_gauge`) combine lookup and
+    update and no-op when the registry is disabled, so call sites stay
+    one line. Instrumented hot paths should still guard with
+    ``if registry.enabled:`` to skip argument evaluation entirely.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    # -- structure -------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str):
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise TypeError(
+                    "metric %r already registered as %s" % (name, metric.kind)
+                )
+            return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    "metric %r already registered as %s" % (name, metric.kind)
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def metrics(self) -> Iterator[Any]:
+        for name in self.names():
+            yield self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- convenience recorders -------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        if self.enabled:
+            self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.histogram(name).record(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.gauge(name).set(value)
+
+    # -- aggregation ------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (same-named metrics must agree on kind)."""
+        for name in other.names():
+            theirs = other.get(name)
+            mine = self._get_or_create(type(theirs), name, theirs.help)
+            mine.merge(theirs)
+
+    def to_dict(self, include_buckets: bool = False) -> Dict[str, Any]:
+        out = {}
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                out[metric.name] = metric.to_dict(include_buckets=include_buckets)
+            else:
+                out[metric.name] = metric.to_dict()
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __repr__(self) -> str:
+        return "<MetricsRegistry enabled=%s metrics=%d>" % (
+            self.enabled,
+            len(self._metrics),
+        )
+
+
+#: The library-wide default registry. Disabled until a consumer opts in.
+DEFAULT = MetricsRegistry(enabled=False)
+
+
+def default_registry() -> MetricsRegistry:
+    return DEFAULT
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the module default; returns the previous one."""
+    global DEFAULT
+    previous = DEFAULT
+    DEFAULT = registry
+    return previous
+
+
+def enable(on: bool = True) -> None:
+    """Toggle recording on the current default registry."""
+    DEFAULT.enabled = on
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry):
+    """Temporarily install ``registry`` as the default (benchmark runs)."""
+    previous = set_default_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_default_registry(previous)

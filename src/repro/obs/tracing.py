@@ -1,0 +1,245 @@
+"""Branch-aware tracing: spans and a bounded ring-buffer event log.
+
+Two primitives:
+
+* **Spans** follow one logical operation (a transaction, a merge, a GC
+  cycle) through ``begin → ops → commit/abort``. Spans nest per thread;
+  a finished span records its duration and its parent into the event
+  log, so a transaction's life reads as one indented trace.
+* **Events** are point-in-time records of the branch-level happenings
+  the paper reasons about — fork, merge, promotion, GC, replication
+  apply — each a ``kind`` plus free-form attributes (state ids, key
+  counts).
+
+Both land in a bounded ring buffer (:class:`Tracer` keeps the newest
+``capacity`` events), so tracing is safe to leave on in long runs: memory
+is fixed, and ``record`` is an O(1) deque append under one lock.
+
+Like metrics, the module-level :data:`DEFAULT` tracer starts disabled —
+hot paths guard with ``if tracer.enabled:`` and pay one attribute check.
+
+Event kind catalogue (see docs/internals.md §8):
+
+== ==================  ===========================================
+kind                    attrs
+== ==================  ===========================================
+``txn.commit``          ``state``, ``writes``, ``ripple``, ``fork``
+``txn.abort``           ``reason``
+``branch.fork``         ``state``, ``parent``
+``branch.merge``        ``state``, ``parents``, ``writes``
+``gc.cycle``            ``marked``, ``removed``, ``promoted``, ``dropped``, ``live_states``
+``gc.promotion``        ``state``, ``promoted_to``
+``repl.apply``          ``state``, ``src``
+``repl.cache``          ``state``, ``missing``
+``repl.fetch``          ``state``, ``peer``
+``repl.drop``           ``state``
+``spec.confirm``        ``tickets``
+``spec.misspeculate``   ``tickets``
+``span``                ``name``, ``ms``, ``depth``, ``parent``
+== ==================  ===========================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "TraceEvent",
+    "Span",
+    "Tracer",
+    "DEFAULT",
+    "default_tracer",
+    "set_default_tracer",
+    "enable",
+    "use_tracer",
+]
+
+
+class TraceEvent:
+    """One entry of the event log."""
+
+    __slots__ = ("ts", "kind", "attrs")
+
+    def __init__(self, ts: float, kind: str, attrs: Dict[str, Any]):
+        self.ts = ts
+        self.kind = kind
+        self.attrs = attrs
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = {"ts": self.ts, "kind": self.kind}
+        data.update(self.attrs)
+        return data
+
+    def __repr__(self) -> str:
+        attrs = " ".join("%s=%r" % kv for kv in self.attrs.items())
+        return "<%s %s>" % (self.kind, attrs)
+
+
+class Span:
+    """One live traced operation. Created via :meth:`Tracer.span`."""
+
+    __slots__ = ("name", "attrs", "start", "end", "depth", "parent")
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Dict[str, Any],
+        start: float,
+        depth: int,
+        parent: Optional[str],
+    ):
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.end: Optional[float] = None
+        #: nesting depth at creation (0 == top level)
+        self.depth = depth
+        #: name of the enclosing span, if any
+        self.parent = parent
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end if self.end is not None else self.start
+        return (end - self.start) * 1000.0
+
+    def annotate(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def __repr__(self) -> str:
+        state = "open" if self.end is None else "%.3fms" % self.duration_ms
+        return "<Span %s depth=%d %s>" % (self.name, self.depth, state)
+
+
+class Tracer:
+    """Span contexts plus a bounded ring buffer of trace events."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        enabled: bool = True,
+        clock=time.perf_counter,
+    ):
+        self.enabled = enabled
+        self.capacity = capacity
+        self._clock = clock
+        self._events: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- events ----------------------------------------------------------
+
+    def event(self, kind: str, **attrs: Any) -> None:
+        """Record a point event; no-op when disabled."""
+        if not self.enabled:
+            return
+        entry = TraceEvent(self._clock(), kind, attrs)
+        with self._lock:
+            self._events.append(entry)
+
+    def events(
+        self, kind: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[TraceEvent]:
+        """Newest-last view of the buffer, optionally filtered by kind."""
+        with self._lock:
+            out = list(self._events)
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if limit is not None:
+            out = out[-limit:] if limit > 0 else []
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- spans -----------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any):
+        """Open a nested span; on exit, record it into the event log."""
+        if not self.enabled:
+            yield _NULL_SPAN
+            return
+        stack = self._stack()
+        parent = stack[-1].name if stack else None
+        span = Span(name, dict(attrs), self._clock(), len(stack), parent)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = self._clock()
+            stack.pop()
+            entry_attrs = {
+                "name": span.name,
+                "ms": span.duration_ms,
+                "depth": span.depth,
+                "parent": span.parent,
+            }
+            entry_attrs.update(span.attrs)
+            entry = TraceEvent(span.end, "span", entry_attrs)
+            with self._lock:
+                self._events.append(entry)
+
+    def to_list(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        return [e.to_dict() for e in self.events(limit=limit)]
+
+    def __repr__(self) -> str:
+        return "<Tracer enabled=%s events=%d/%d>" % (
+            self.enabled,
+            len(self._events),
+            self.capacity,
+        )
+
+
+#: sentinel yielded by a disabled tracer so ``with tracer.span(...) as s:``
+#: works unconditionally.
+_NULL_SPAN = Span("(disabled)", {}, 0.0, 0, None)
+_NULL_SPAN.end = 0.0
+
+
+#: The library-wide default tracer. Disabled until a consumer opts in.
+DEFAULT = Tracer(enabled=False)
+
+
+def default_tracer() -> Tracer:
+    return DEFAULT
+
+
+def set_default_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the module default; returns the previous one."""
+    global DEFAULT
+    previous = DEFAULT
+    DEFAULT = tracer
+    return previous
+
+
+def enable(on: bool = True) -> None:
+    """Toggle recording on the current default tracer."""
+    DEFAULT.enabled = on
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Temporarily install ``tracer`` as the default."""
+    previous = set_default_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_default_tracer(previous)

@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.ids import ROOT_ID
 from repro.core.store import TardisStore
+from repro.obs import metrics as _met
 from repro.replication.network import SimNetwork
 from repro.replication.replicator import Replicator
 from repro.sim.adapters import TardisAdapter
@@ -122,6 +123,9 @@ class ReplicatedRunResult:
     per_site: List[RunResult] = field(default_factory=list)
     aggregate_tps: float = 0.0
     messages: int = 0
+    #: cluster-wide observability registry snapshot (all sites fold into
+    #: one registry: replication counters, forks, merges, GC).
+    obs_metrics: Dict[str, Any] = field(default_factory=dict)
 
     def summary(self) -> str:
         return "sites=%d aggregate=%8.0f txn/s (%s)" % (
@@ -168,61 +172,73 @@ def run_replicated_workload(
     measures = []
     adapters = []
     site_cores = {}
+    registry = (
+        _met.MetricsRegistry(enabled=True) if config.collect_metrics else None
+    )
 
-    seed_workload = workload_factory()
-    preload = getattr(seed_workload, "preload", None)
-    site_adapters = {}
-    for site in cluster.sites:
-        site_adapters[site] = TardisAdapter(
-            store=cluster.stores[site], branching=branching
-        )
-    if preload:
-        site_adapters[cluster.sites[0]].preload(preload)
-        sim.run(until=settle_ms)  # let the seed replicate everywhere
-
-    start_at = sim.now
-    warmup_abs = start_at + config.warmup_ms
-    end_at = start_at + config.duration_ms
-
-    for index, site in enumerate(cluster.sites):
-        adapter = site_adapters[site]
-        adapters.append(adapter)
-        cores = Resource(sim, config.cores)
-        serial = Resource(sim, 1)
-        site_cores[site] = cores
-        measure = _Measure(warmup_abs)
-        measures.append(measure)
-        workload = workload_factory()
-        waiters: Dict[Any, _Client] = {}
-        clients = [
-            _Client(
-                "%s-client-%d" % (site, i),
-                sim,
-                cores,
-                adapter,
-                workload,
-                random.Random(config.seed * 7919 + index * 131 + i),
-                measure,
-                waiters,
-                serial,
+    # One cluster-wide registry: every site's stores and replicators
+    # record into it while the run executes (single simulator thread).
+    previous_default = None
+    if registry is not None:
+        previous_default = _met.set_default_registry(registry)
+    try:
+        seed_workload = workload_factory()
+        preload = getattr(seed_workload, "preload", None)
+        site_adapters = {}
+        for site in cluster.sites:
+            site_adapters[site] = TardisAdapter(
+                store=cluster.stores[site], branching=branching
             )
-            for i in range(config.n_clients)
-        ]
-        replicator = cluster.replicators[site]
-        replicator.apply_listener = (
-            lambda message, cores=cores: cores.execute(remote_apply_cost, lambda: None)
-        )
+        if preload:
+            site_adapters[cluster.sites[0]].preload(preload)
+            sim.run(until=settle_ms)  # let the seed replicate everywhere
 
-        for client in clients:
-            client.start()
+        start_at = sim.now
+        warmup_abs = start_at + config.warmup_ms
+        end_at = start_at + config.duration_ms
 
-        if config.maintenance_interval_ms:
-            sim.schedule(
-                config.maintenance_interval_ms,
-                _make_maintenance(sim, adapter, measure, cores, config),
+        for index, site in enumerate(cluster.sites):
+            adapter = site_adapters[site]
+            adapters.append(adapter)
+            cores = Resource(sim, config.cores)
+            serial = Resource(sim, 1)
+            site_cores[site] = cores
+            measure = _Measure(warmup_abs, registry)
+            measures.append(measure)
+            workload = workload_factory()
+            waiters: Dict[Any, _Client] = {}
+            clients = [
+                _Client(
+                    "%s-client-%d" % (site, i),
+                    sim,
+                    cores,
+                    adapter,
+                    workload,
+                    random.Random(config.seed * 7919 + index * 131 + i),
+                    measure,
+                    waiters,
+                    serial,
+                )
+                for i in range(config.n_clients)
+            ]
+            replicator = cluster.replicators[site]
+            replicator.apply_listener = (
+                lambda message, cores=cores: cores.execute(remote_apply_cost, lambda: None)
             )
 
-    sim.run(until=end_at)
+            for client in clients:
+                client.start()
+
+            if config.maintenance_interval_ms:
+                sim.schedule(
+                    config.maintenance_interval_ms,
+                    _make_maintenance(sim, adapter, measure, cores, config),
+                )
+
+        sim.run(until=end_at)
+    finally:
+        if registry is not None:
+            _met.set_default_registry(previous_default)
 
     window_s = max(config.duration_ms - config.warmup_ms, 1e-9) / 1000.0
     per_site = []
@@ -246,4 +262,5 @@ def run_replicated_workload(
         per_site=per_site,
         aggregate_tps=sum(r.throughput_tps for r in per_site),
         messages=cluster.network.messages_sent,
+        obs_metrics=registry.to_dict() if registry is not None else {},
     )

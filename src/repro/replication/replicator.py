@@ -19,6 +19,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.ids import StateId
 from repro.core.store import TardisStore
 from repro.errors import GarbageCollectedError
+from repro.obs import metrics as _met
+from repro.obs import tracing as _trc
 from repro.replication.network import SimNetwork
 
 
@@ -79,6 +81,9 @@ class Replicator:
             writes=dict(writes),
             write_keys=tuple(state.write_keys),
         )
+        m = _met.DEFAULT
+        if m.enabled:
+            m.inc("tardis_repl_send_total")
         self.network.broadcast(self.site, message)
 
     # -- inbound -------------------------------------------------------------
@@ -94,6 +99,8 @@ class Replicator:
             raise TypeError("unknown replication message %r" % (message,))
 
     def _apply_or_cache(self, src: str, message: TxnMessage) -> None:
+        m = _met.DEFAULT
+        t = _trc.DEFAULT
         missing = [pid for pid in message.parent_ids if pid not in self.store.dag]
         if missing:
             self.cached += 1
@@ -102,6 +109,16 @@ class Replicator:
             # Optimistic GC recovery: the parent may be gone because we
             # collected it; ask the sender for it.
             self.fetches += 1
+            if m.enabled:
+                m.inc("tardis_repl_cache_total")
+                m.inc("tardis_repl_fetch_total")
+            if t.enabled:
+                t.event(
+                    "repl.cache",
+                    state=message.state_id,
+                    missing=missing[0],
+                    site=self.site,
+                )
             self.network.send(self.site, src, FetchRequest(missing[0]))
             return
         try:
@@ -116,9 +133,17 @@ class Replicator:
             # reconstructed locally (id-order violation after a flush);
             # the paper aborts transactions needing such states (§6.4).
             self.dropped += 1
+            if m.enabled:
+                m.inc("tardis_repl_drop_total")
+            if t.enabled:
+                t.event("repl.drop", state=message.state_id, site=self.site)
             return
         if applied is not None:
             self.applied += 1
+            if m.enabled:
+                m.inc("tardis_repl_apply_total")
+            if t.enabled:
+                t.event("repl.apply", state=message.state_id, src=src, site=self.site)
             if self.apply_listener is not None:
                 self.apply_listener(message)
         self._drain_pending(message.state_id)

@@ -36,6 +36,8 @@ from repro.core.constraints import (
 )
 from repro.core.store import TardisStore
 from repro.errors import TransactionAborted
+from repro.obs import metrics as _met
+from repro.obs import tracing as _trc
 
 PENDING = "pending"
 CONFIRMED = "confirmed"
@@ -95,6 +97,9 @@ class SpeculativeExecutor:
         self._execute(spec, self._spec_session, anchor=self._spec_tip)
         self._spec_tip = spec.commit_id or self._spec_tip
         self._pending.append(spec)
+        m = _met.DEFAULT
+        if m.enabled:
+            m.inc("tardis_spec_submit_total")
         return spec
 
     def _execute(self, spec: Speculation, session, anchor) -> None:
@@ -186,11 +191,24 @@ class SpeculativeExecutor:
                 spec.status = CONFIRMED
                 self.confirmed_count += 1
             self._pending = []
+            m = _met.DEFAULT
+            if m.enabled:
+                m.inc("tardis_spec_confirm_total", len(pending))
+            t = _trc.DEFAULT
+            if t.enabled:
+                t.event("spec.confirm", tickets=[s.ticket for s in pending])
             return True
 
         # Misspeculation: abandon the branch, replay in ticket order on
         # the new confirmed prefix.
         self.misspeculations += 1
+        m = _met.DEFAULT
+        if m.enabled:
+            m.inc("tardis_spec_misspec_total")
+            m.inc("tardis_spec_reexec_total", len(pending))
+        t = _trc.DEFAULT
+        if t.enabled:
+            t.event("spec.misspeculate", tickets=[s.ticket for s in pending])
         self._spec_tip = self._confirmed_tip
         for spec in pending:
             spec.executions += 1

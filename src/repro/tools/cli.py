@@ -8,6 +8,10 @@ Commands:
   DAG as Graphviz DOT.
 * ``recover`` — inspect a write-ahead log: replay it into a fresh store
   and print the recovery report and store summary.
+* ``metrics`` — a "tardis top": run a short workload with the
+  observability subsystem enabled and print branch health (per-branch
+  depth, conflict rate, GC debt), the metric registry, and recent trace
+  events; ``--json`` / ``--prometheus`` switch the output format.
 """
 
 from __future__ import annotations
@@ -103,6 +107,108 @@ def cmd_recover(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    from repro.obs import MetricsRegistry, Tracer, export
+    from repro.obs import metrics as _met
+    from repro.obs import tracing as _trc
+
+    adapter = SYSTEMS[args.system]()
+    workload = YCSBWorkload(
+        mix=MIXES[args.mix], n_keys=args.keys, pattern=args.pattern
+    )
+    config = RunConfig(
+        n_clients=args.clients,
+        duration_ms=args.duration,
+        warmup_ms=args.duration * 0.1,
+        cores=args.cores,
+        seed=args.seed,
+        maintenance_interval_ms=5.0 if args.system.startswith("tardis") else None,
+        # The runner would swap in its own per-run registry; we install
+        # ours instead so the tracer and exporters see live objects.
+        collect_metrics=False,
+    )
+    registry = MetricsRegistry(enabled=True)
+    tracer = Tracer(capacity=max(args.events * 8, 1024), enabled=True)
+    previous_registry = _met.set_default_registry(registry)
+    previous_tracer = _trc.set_default_tracer(tracer)
+    try:
+        result = run_simulation(adapter, workload, config)
+    finally:
+        _met.set_default_registry(previous_registry)
+        _trc.set_default_tracer(previous_tracer)
+
+    if args.json:
+        print(export.to_json(registry, tracer, event_limit=args.events))
+        return 0
+    if args.prometheus:
+        print(export.to_prometheus(registry))
+        return 0
+
+    data = registry.to_dict()
+
+    def counter(name):
+        return data.get(name, {}).get("value", 0)
+
+    print(result.summary())
+    store = getattr(adapter, "store", None)
+    if store is not None:
+        commits = counter("tardis_txn_commit_total")
+        forks = counter("tardis_branch_fork_total")
+        merges = counter("tardis_branch_merge_total")
+        print()
+        print("-- branches " + "-" * 48)
+        print(
+            "leaves=%d  live_states=%d  conflict_rate=%.2f%% (%d forks / %d commits)  merges=%d"
+            % (
+                len(store.dag.leaves()),
+                len(store.dag),
+                100.0 * forks / max(commits, 1),
+                forks,
+                commits,
+                merges,
+            )
+        )
+        for leaf in store.dag.leaves():
+            print(
+                "  leaf %-24s depth=%-3d %s"
+                % (leaf.id, len(leaf.fork_path), "merge" if leaf.is_merge else "")
+            )
+        print()
+        print("-- gc debt " + "-" * 49)
+        print(
+            "cycles=%d  states_removed=%d  promoted=%d  promotion_table=%d  ceilings=%d"
+            % (
+                counter("tardis_gc_cycle_total"),
+                counter("tardis_gc_states_removed_total"),
+                counter("tardis_gc_records_promoted_total"),
+                store.dag.promotion_table_size,
+                len(store.gc.ceilings),
+            )
+        )
+
+    print()
+    print("-- metrics " + "-" * 49)
+    for name in sorted(data):
+        entry = data[name]
+        if entry["type"] == "counter" or entry["type"] == "gauge":
+            print("  %-40s %s" % (name, entry["value"]))
+        elif entry["type"] == "histogram" and entry["count"]:
+            hist = export.histogram_from_snapshot(name, entry)
+            print(
+                "  %-40s count=%d p50=%.4f p99=%.4f max=%.4f"
+                % (name, entry["count"], hist.quantile(0.5), hist.quantile(0.99), entry["max"])
+            )
+
+    events = tracer.events(limit=args.events)
+    if events:
+        print()
+        print("-- recent events " + "-" * 43)
+        for event in events:
+            attrs = " ".join("%s=%s" % kv for kv in sorted(event.attrs.items()))
+            print("  %10.4f %-18s %s" % (event.ts, event.kind, attrs))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.cli",
@@ -129,6 +235,22 @@ def build_parser() -> argparse.ArgumentParser:
     recover = sub.add_parser("recover", help="replay a write-ahead log")
     recover.add_argument("wal", help="path to the commit log")
     recover.set_defaults(func=cmd_recover)
+
+    metrics = sub.add_parser(
+        "metrics", help="run a short workload and show branch/GC health"
+    )
+    metrics.add_argument("--system", choices=sorted(SYSTEMS), default="tardis")
+    metrics.add_argument("--mix", choices=sorted(MIXES), default="mixed")
+    metrics.add_argument("--pattern", choices=["uniform", "zipfian"], default="uniform")
+    metrics.add_argument("--clients", type=int, default=16)
+    metrics.add_argument("--keys", type=int, default=400)
+    metrics.add_argument("--cores", type=int, default=8)
+    metrics.add_argument("--duration", type=float, default=100.0)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--events", type=int, default=10, help="trace events to show")
+    metrics.add_argument("--json", action="store_true", help="dump registry + events as JSON")
+    metrics.add_argument("--prometheus", action="store_true", help="Prometheus text format")
+    metrics.set_defaults(func=cmd_metrics)
     return parser
 
 

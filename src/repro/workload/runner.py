@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs import metrics as _met
 from repro.sim.adapters import SystemAdapter
 from repro.sim.des import Resource, Simulator
 from repro.workload.stats import LatencyStats, OpBreakdown
@@ -32,6 +33,10 @@ class RunConfig:
     maintenance_interval_ms: Optional[float] = None
     #: record a time-series sample this often (Figure 13).
     sample_interval_ms: Optional[float] = None
+    #: attach a per-run observability registry (folded into
+    #: ``RunResult.obs_metrics``); the run installs it as the library
+    #: default so store-level counters land in it too.
+    collect_metrics: bool = True
 
 
 @dataclass
@@ -51,6 +56,9 @@ class RunResult:
     op_breakdown_ms: Dict[str, float] = field(default_factory=dict)
     adapter_stats: Dict[str, Any] = field(default_factory=dict)
     samples: List[Dict[str, Any]] = field(default_factory=list)
+    #: snapshot of the per-run observability registry (counter values,
+    #: histogram summaries), keyed by metric name.
+    obs_metrics: Dict[str, Any] = field(default_factory=dict)
 
     def summary(self) -> str:
         return (
@@ -71,8 +79,10 @@ class RunResult:
 class _Measure:
     """Shared measurement state for one run."""
 
-    def __init__(self, warmup: float):
+    def __init__(self, warmup: float, registry: Optional[_met.MetricsRegistry] = None):
         self.warmup = warmup
+        #: per-run observability registry (None when metrics are off).
+        self.registry = registry
         self.commits = 0
         self.aborts = 0
         self.lock_waits = 0
@@ -248,19 +258,29 @@ class _Client:
 
     def _finish_attempt(self) -> None:
         measuring = self.sim.now >= self.m.warmup
+        reg = self.m.registry
         if self.outcome == "ok":
             self.m.commits_total += 1
             if measuring:
                 self.m.commits += 1
-                self.m.latency.record(self.sim.now - self.txn_start)
+                latency = self.sim.now - self.txn_start
+                self.m.latency.record(latency)
                 self.m.breakdown.merge_costs(self.attempt_costs, self.attempt_counts)
                 self.m.useful_work += self.attempt_work
+                if reg is not None and reg.enabled:
+                    reg.inc("run_commit_total")
+                    reg.observe("run_txn_latency_ms", latency)
+                    # Per-op means are already aggregated (for free) by
+                    # OpBreakdown above; recording per-op histograms here
+                    # roughly doubled the whole subsystem's wall cost.
             self.adapter_commit_hook()
             self._next_txn()
         else:
             if measuring:
                 self.m.aborts += 1
                 self.m.wasted_work += self.attempt_work
+                if reg is not None and reg.enabled:
+                    reg.inc("run_abort_total")
             self._start_attempt()  # retry the same transaction
 
     def adapter_commit_hook(self) -> None:
@@ -276,53 +296,66 @@ def run_simulation(
     sim = Simulator()
     cores = Resource(sim, config.cores)
     serial = Resource(sim, 1)  # per-system critical section (OCC validation)
-    measure = _Measure(config.warmup_ms)
+    registry = (
+        _met.MetricsRegistry(enabled=True) if config.collect_metrics else None
+    )
+    measure = _Measure(config.warmup_ms, registry)
     waiters: Dict[Any, _Client] = {}
 
-    preload = getattr(workload, "preload", None)
-    if preload:
-        adapter.preload(preload)
+    # The per-run registry doubles as the library default for the
+    # duration of the run, so the stores' own counters (forks, merges,
+    # GC cycles) fold into the same place as the runner's histograms.
+    previous_default = None
+    if registry is not None:
+        previous_default = _met.set_default_registry(registry)
+    try:
+        preload = getattr(workload, "preload", None)
+        if preload:
+            adapter.preload(preload)
 
-    clients = [
-        _Client(
-            "client-%d" % i,
-            sim,
-            cores,
-            adapter,
-            workload,
-            random.Random(config.seed * 7919 + i),
-            measure,
-            waiters,
-            serial,
-        )
-        for i in range(config.n_clients)
-    ]
-    for client in clients:
-        client.start()
+        clients = [
+            _Client(
+                "client-%d" % i,
+                sim,
+                cores,
+                adapter,
+                workload,
+                random.Random(config.seed * 7919 + i),
+                measure,
+                waiters,
+                serial,
+            )
+            for i in range(config.n_clients)
+        ]
+        for client in clients:
+            client.start()
 
-    if config.maintenance_interval_ms:
+        if config.maintenance_interval_ms:
 
-        def run_maintenance() -> None:
-            cost = adapter.maintenance()
-            measure.maintenance_work += cost
-            if cost:
-                cores.execute(cost, lambda: None)
+            def run_maintenance() -> None:
+                cost = adapter.maintenance()
+                measure.maintenance_work += cost
+                if cost:
+                    cores.execute(cost, lambda: None)
+                sim.schedule(config.maintenance_interval_ms, run_maintenance)
+
             sim.schedule(config.maintenance_interval_ms, run_maintenance)
 
-        sim.schedule(config.maintenance_interval_ms, run_maintenance)
+        samples: List[Dict[str, Any]] = []
+        if config.sample_interval_ms:
 
-    samples: List[Dict[str, Any]] = []
-    if config.sample_interval_ms:
+            def take_sample() -> None:
+                entry = {"t_ms": sim.now, "commits": measure.commits_total}
+                entry.update(adapter.stats())
+                samples.append(entry)
+                sim.schedule(config.sample_interval_ms, take_sample)
 
-        def take_sample() -> None:
-            entry = {"t_ms": sim.now, "commits": measure.commits_total}
-            entry.update(adapter.stats())
-            samples.append(entry)
             sim.schedule(config.sample_interval_ms, take_sample)
 
-        sim.schedule(config.sample_interval_ms, take_sample)
-
-    sim.run(until=config.duration_ms)
+        sim.run(until=config.duration_ms)
+    finally:
+        if registry is not None:
+            _met.set_default_registry(previous_default)
 
     window_s = max(config.duration_ms - config.warmup_ms, 1e-9) / 1000.0
     total_work = (
@@ -351,6 +384,7 @@ def run_simulation(
         op_breakdown_ms=measure.breakdown.as_dict(),
         adapter_stats=adapter.stats(),
         samples=samples,
+        obs_metrics=registry.to_dict() if registry is not None else {},
     )
     return result
 
@@ -377,6 +411,7 @@ def sweep_clients(
             seed=base.seed,
             maintenance_interval_ms=base.maintenance_interval_ms,
             sample_interval_ms=base.sample_interval_ms,
+            collect_metrics=base.collect_metrics,
         )
         results.append(run_simulation(adapter_factory(), workload_factory(), cfg))
     return results

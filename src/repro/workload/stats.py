@@ -12,10 +12,19 @@ class LatencyStats:
     def __init__(self) -> None:
         self._samples: List[float] = []
         self._sum = 0.0
+        #: sorted view of the samples, built lazily on the first
+        #: percentile query and reused until the next record() — results
+        #: report p50/p99/mean together, so without the cache every
+        #: accessor re-sorted the full sample list (O(n log n) each).
+        self._sorted: List[float] = []
+        #: number of times the sorted view was (re)built; tests use this
+        #: to pin the caching behaviour.
+        self.sort_count = 0
 
     def record(self, value: float) -> None:
         self._samples.append(value)
         self._sum += value
+        self._sorted = []
 
     @property
     def count(self) -> int:
@@ -35,7 +44,10 @@ class LatencyStats:
         """Linear-interpolated percentile, p in [0, 100]."""
         if not self._samples:
             return 0.0
-        data = sorted(self._samples)
+        if not self._sorted:
+            self._sorted = sorted(self._samples)
+            self.sort_count += 1
+        data = self._sorted
         if len(data) == 1:
             return data[0]
         rank = (p / 100.0) * (len(data) - 1)

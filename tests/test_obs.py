@@ -1,0 +1,454 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import json
+import math
+import random
+import threading
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    export,
+)
+from repro.obs import metrics as met
+from repro.obs import tracing as trc
+
+
+class TestCounterGauge:
+    def test_counter(self):
+        c = Counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert c.to_dict() == {"type": "counter", "value": 6}
+
+    def test_counter_merge(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+
+    def test_gauge(self):
+        g = Gauge("g")
+        g.set(10.0)
+        g.add(-2.5)
+        assert g.value == 7.5
+        other = Gauge("g")
+        other.set(2.5)
+        g.merge(other)  # site gauges merge by sum
+        assert g.value == 10.0
+
+
+class TestHistogramBuckets:
+    def test_zero_and_negative_hit_zero_bucket(self):
+        assert Histogram.bucket_index(0.0) is None
+        assert Histogram.bucket_index(-1.0) is None
+        h = Histogram("h")
+        h.record(0.0)
+        h.record(-3.0)
+        assert h.count == 2
+        assert h.quantile(0.5) == 0.0
+
+    def test_value_falls_within_its_bucket_bounds(self):
+        rng = random.Random(7)
+        values = [rng.uniform(1e-6, 1e6) for _ in range(200)]
+        values += [1e-9, 0.5, 1.0, 2.0, 1023.999, 1024.0, 1e12]
+        for v in values:
+            index = Histogram.bucket_index(v)
+            lo, hi = Histogram.bucket_bounds(index)
+            assert lo <= v < hi or math.isclose(v, lo), v
+            # relative bucket width bounds the quantile error
+            assert (hi - lo) / lo <= 1.0 / Histogram.SUBBUCKETS + 1e-12
+
+    def test_bucket_indices_are_monotonic_in_value(self):
+        values = sorted(abs(math.sin(i)) * 10**(i % 7) + 1e-9 for i in range(1, 300))
+        indices = [Histogram.bucket_index(v) for v in values]
+        assert indices == sorted(indices)
+
+    def test_power_of_two_boundaries(self):
+        # frexp(2**k) == (0.5, k+1): each power of two starts its octave.
+        for k in (-3, 0, 1, 10):
+            index = Histogram.bucket_index(2.0 ** k)
+            lo, _hi = Histogram.bucket_bounds(index)
+            assert math.isclose(lo, 2.0 ** k)
+
+    def test_min_max_sum_mean(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.record(v)
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.sum == 6.0
+        assert h.mean == 2.0
+
+    def test_empty_histogram_queries(self):
+        h = Histogram("h")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.min == 0.0
+        assert h.max == 0.0
+        assert h.quantile(0.99) == 0.0
+        assert h.buckets() == []
+
+
+class TestHistogramQuantiles:
+    def test_quantile_relative_error_bound(self):
+        """Estimates stay within the documented 1/SUBBUCKETS bound."""
+        rng = random.Random(42)
+        samples = [rng.expovariate(1.0 / 5.0) + 0.01 for _ in range(10_000)]
+        h = Histogram("lat")
+        for s in samples:
+            h.record(s)
+        samples.sort()
+        bound = 1.0 / Histogram.SUBBUCKETS
+        for q in (0.10, 0.50, 0.90, 0.99, 0.999):
+            exact = samples[min(len(samples) - 1, math.ceil(q * len(samples)) - 1)]
+            estimate = h.quantile(q)
+            assert abs(estimate - exact) / exact <= bound, q
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = Histogram("h")
+        h.record(5.0)
+        assert h.quantile(0.0) == 5.0
+        assert h.quantile(1.0) == 5.0
+
+    def test_merge_equals_union(self):
+        rng = random.Random(3)
+        a, b, union = Histogram("h"), Histogram("h"), Histogram("h")
+        for _ in range(500):
+            v = rng.lognormvariate(0, 2)
+            (a if rng.random() < 0.5 else b).record(v)
+            union.record(v)
+        a.merge(b)
+        assert a.count == union.count
+        assert a.sum == pytest.approx(union.sum)
+        assert a.min == union.min
+        assert a.max == union.max
+        assert a.buckets() == union.buckets()
+        for q in (0.5, 0.9, 0.99):
+            assert a.quantile(q) == union.quantile(q)
+
+    def test_percentile_and_properties(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.record(float(v))
+        assert h.percentile(50) == h.p50
+        assert h.percentile(99) == h.p99
+        assert h.p50 == pytest.approx(50.0, rel=1.0 / Histogram.SUBBUCKETS)
+        assert h.p99 == pytest.approx(99.0, rel=1.0 / Histogram.SUBBUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+        assert "a" in reg
+        assert reg.names() == ["a"]
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_disabled_recorders_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("c")
+        reg.observe("h", 1.0)
+        reg.set_gauge("g", 2.0)
+        assert len(reg) == 0
+
+    def test_convenience_recorders(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.observe("h", 1.5)
+        reg.set_gauge("g", 3.0)
+        data = reg.to_dict()
+        assert data["c"]["value"] == 2
+        assert data["h"]["count"] == 1
+        assert data["g"]["value"] == 3.0
+
+    def test_registry_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 1)
+        b.inc("c", 2)
+        b.observe("h", 4.0)
+        a.merge(b)
+        assert a.counter("c").value == 3
+        assert a.histogram("h").count == 1
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_thread_safety_under_concurrent_record(self):
+        """No samples lost with many threads hammering one registry."""
+        reg = MetricsRegistry()
+        n_threads, per_thread = 8, 2_000
+
+        def work(seed):
+            rng = random.Random(seed)
+            for _ in range(per_thread):
+                reg.inc("ops")
+                reg.observe("lat", rng.random() + 0.001)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("ops").value == n_threads * per_thread
+        hist = reg.histogram("lat")
+        assert hist.count == n_threads * per_thread
+        assert sum(c for _ub, c in hist.buckets()) == hist.count
+
+    def test_default_registry_swap(self):
+        mine = MetricsRegistry()
+        previous = met.set_default_registry(mine)
+        try:
+            assert met.default_registry() is mine
+            met.DEFAULT.inc("x")
+            assert mine.counter("x").value == 1
+        finally:
+            met.set_default_registry(previous)
+        assert met.default_registry() is previous
+
+    def test_use_registry_context(self):
+        mine = MetricsRegistry()
+        original = met.DEFAULT
+        with met.use_registry(mine) as active:
+            assert active is mine
+            assert met.DEFAULT is mine
+        assert met.DEFAULT is original
+
+
+class TestTracer:
+    def test_event_recording_and_filtering(self):
+        tr = Tracer()
+        tr.event("branch.fork", state="s1", parent="s0")
+        tr.event("branch.merge", state="s2")
+        assert len(tr) == 2
+        forks = tr.events(kind="branch.fork")
+        assert len(forks) == 1
+        assert forks[0].attrs["state"] == "s1"
+        assert len(tr.events(limit=1)) == 1
+        assert tr.events(limit=0) == []  # not "everything" via [-0:]
+
+    def test_ring_buffer_bounded(self):
+        tr = Tracer(capacity=10)
+        for i in range(25):
+            tr.event("tick", i=i)
+        events = tr.events()
+        assert len(events) == 10
+        assert [e.attrs["i"] for e in events] == list(range(15, 25))
+
+    def test_disabled_tracer_noop(self):
+        tr = Tracer(enabled=False)
+        tr.event("x")
+        with tr.span("op") as span:
+            span.annotate(note="ignored")
+        assert len(tr) == 0
+
+    def test_span_nesting(self):
+        tr = Tracer(clock=iter(range(100)).__next__)
+        with tr.span("txn") as outer:
+            assert tr.current_span() is outer
+            with tr.span("merge", keys=3) as inner:
+                assert inner.depth == 1
+                assert inner.parent == "txn"
+                inner.annotate(conflicts=2)
+            assert tr.current_span() is outer
+        assert tr.current_span() is None
+        spans = tr.events(kind="span")
+        assert [e.attrs["name"] for e in spans] == ["merge", "txn"]  # inner ends first
+        assert spans[0].attrs["depth"] == 1
+        assert spans[0].attrs["parent"] == "txn"
+        assert spans[0].attrs["conflicts"] == 2
+        assert spans[1].attrs["depth"] == 0
+        assert spans[1].attrs["parent"] is None
+        assert spans[1].attrs["ms"] >= spans[0].attrs["ms"]
+
+    def test_span_recorded_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        assert len(tr.events(kind="span")) == 1
+        assert tr.current_span() is None  # stack unwound
+
+    def test_default_tracer_swap(self):
+        mine = Tracer()
+        previous = trc.set_default_tracer(mine)
+        try:
+            trc.DEFAULT.event("ping")
+            assert len(mine.events()) == 1
+        finally:
+            trc.set_default_tracer(previous)
+
+    def test_event_to_dict(self):
+        tr = Tracer(clock=lambda: 1.5)
+        tr.event("gc.cycle", removed=3)
+        assert tr.to_list() == [{"ts": 1.5, "kind": "gc.cycle", "removed": 3}]
+
+
+class TestExport:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.inc("commits", 7)
+        reg.set_gauge("live_states", 4.0)
+        for v in (0.5, 1.0, 2.0, 0.0):
+            reg.observe("lat_ms", v)
+        return reg
+
+    def test_json_round_trip(self):
+        reg = self._registry()
+        tr = Tracer()
+        tr.event("branch.fork", state="s1")
+        doc = json.loads(export.to_json(reg, tr, include_buckets=True))
+        assert doc["metrics"]["commits"] == {"type": "counter", "value": 7}
+        assert doc["metrics"]["lat_ms"]["count"] == 4
+        assert doc["metrics"]["lat_ms"]["zero"] == 1
+        assert doc["events"][0]["kind"] == "branch.fork"
+
+    def test_prometheus_format(self):
+        text = export.to_prometheus(self._registry())
+        lines = text.splitlines()
+        assert "# TYPE commits counter" in lines
+        assert "commits 7" in lines
+        assert "# TYPE live_states gauge" in lines
+        assert "live_states 4" in lines
+        assert "# TYPE lat_ms histogram" in lines
+        assert 'lat_ms_bucket{le="+Inf"} 4' in lines
+        assert "lat_ms_count 4" in lines
+        assert "lat_ms_sum 3.5" in lines
+        # cumulative bucket counts are non-decreasing
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in lines
+            if line.startswith('lat_ms_bucket')
+        ]
+        assert counts == sorted(counts)
+
+    def test_prometheus_name_sanitisation(self):
+        reg = MetricsRegistry()
+        reg.inc("1bad name-with.dots")
+        text = export.to_prometheus(reg)
+        assert "_1bad_name_with_dots 1" in text
+
+    def test_snapshot_diff_counters(self):
+        reg = self._registry()
+        before = export.snapshot(reg)
+        reg.inc("commits", 3)
+        reg.set_gauge("live_states", 9.0)
+        after = export.snapshot(reg)
+        delta = export.diff(before, after)
+        assert delta["commits"]["value"] == 3
+        assert delta["live_states"]["value"] == 9.0
+        assert delta["live_states"]["delta"] == 5.0
+
+    def test_snapshot_diff_histogram_window(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0):
+            reg.observe("lat", v)
+        before = export.snapshot(reg)
+        for v in (100.0, 200.0, 0.0):
+            reg.observe("lat", v)
+        delta = export.diff(before, export.snapshot(reg))["lat"]
+        assert delta["count"] == 3
+        assert delta["sum"] == pytest.approx(300.0)
+        assert delta["zero"] == 1
+        # quantiles of just the window: the pre-existing 1.0/2.0 are gone
+        hist = export.histogram_from_snapshot("lat", delta)
+        assert hist.count == 3
+        assert hist.quantile(0.99) == pytest.approx(200.0, rel=1.0 / 16)
+        assert hist.quantile(0.5) == pytest.approx(100.0, rel=1.0 / 16)
+
+    def test_diff_handles_metric_absent_from_before(self):
+        reg = MetricsRegistry()
+        before = export.snapshot(reg)
+        reg.inc("new_counter", 2)
+        delta = export.diff(before, export.snapshot(reg))
+        assert delta["new_counter"]["value"] == 2
+
+
+class TestInstrumentation:
+    """The store's hot paths feed an installed registry/tracer."""
+
+    def test_store_counters_and_events(self):
+        from repro.core.store import TardisStore
+
+        reg = MetricsRegistry()
+        tr = Tracer()
+        with met.use_registry(reg), trc.use_tracer(tr):
+            store = TardisStore("obs")
+            a, b = store.session("a"), store.session("b")
+            store.put("k", 0, session=a)
+            t1, t2 = store.begin(session=a), store.begin(session=b)
+            t1.put("k", t1.get("k") + 1)
+            t2.put("k", t2.get("k") + 2)  # read-modify-write: true conflict
+            t1.commit()
+            t2.commit()  # conflicts -> fork
+            merge = store.begin_merge(session=a)
+            merge.put("k", max(merge.get_all("k")))
+            merge.commit()
+        data = reg.to_dict()
+        assert data["tardis_txn_begin_total"]["value"] >= 3
+        assert data["tardis_txn_commit_total"]["value"] >= 3
+        assert data["tardis_branch_fork_total"]["value"] == 1
+        assert data["tardis_branch_merge_total"]["value"] == 1
+        kinds = {e.kind for e in tr.events()}
+        assert "txn.commit" in kinds
+        assert "branch.fork" in kinds
+        assert "branch.merge" in kinds
+
+    def test_disabled_by_default(self):
+        """An uninstrumented run records nothing into the global default."""
+        from repro.core.store import TardisStore
+
+        baseline = len(met.DEFAULT)
+        store = TardisStore("quiet")
+        txn = store.begin()
+        txn.put("k", 1)
+        txn.commit()
+        assert len(met.DEFAULT) == baseline
+        assert not met.DEFAULT.enabled
+
+    def test_run_simulation_folds_registry(self):
+        from repro.sim.adapters import TardisAdapter
+        from repro.workload import RunConfig, YCSBWorkload, run_simulation
+        from repro.workload.mixes import WRITE_HEAVY
+
+        result = run_simulation(
+            TardisAdapter(branching=True),
+            YCSBWorkload(mix=WRITE_HEAVY, n_keys=50),
+            RunConfig(n_clients=4, duration_ms=30.0, warmup_ms=5.0, seed=1,
+                      maintenance_interval_ms=5.0),
+        )
+        assert result.obs_metrics["tardis_txn_commit_total"]["value"] > 0
+        assert result.obs_metrics["run_commit_total"]["value"] == result.commits
+        assert result.obs_metrics["run_txn_latency_ms"]["count"] > 0
+        # the swap is restored afterwards
+        assert not met.DEFAULT.enabled
+
+    def test_run_simulation_collect_metrics_off(self):
+        from repro.sim.adapters import TardisAdapter
+        from repro.workload import RunConfig, YCSBWorkload, run_simulation
+        from repro.workload.mixes import READ_HEAVY
+
+        result = run_simulation(
+            TardisAdapter(branching=True),
+            YCSBWorkload(mix=READ_HEAVY, n_keys=50),
+            RunConfig(n_clients=2, duration_ms=20.0, warmup_ms=5.0, seed=1,
+                      collect_metrics=False),
+        )
+        assert result.obs_metrics == {}

@@ -100,6 +100,52 @@ class TestCli:
         assert main(["demo", "--dot"]) == 0
         assert capsys.readouterr().out.startswith("digraph")
 
+    def test_metrics_command(self, capsys):
+        rc = main([
+            "metrics", "--mix", "write-heavy",
+            "--clients", "4", "--duration", "40", "--cores", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "-- branches" in out
+        assert "conflict_rate=" in out
+        assert "-- gc debt" in out
+        assert "tardis_txn_commit_total" in out
+        assert "leaf " in out
+
+    def test_metrics_command_leaves_defaults_restored(self):
+        from repro.obs import metrics as met
+        from repro.obs import tracing as trc
+
+        before_reg, before_trc = met.DEFAULT, trc.DEFAULT
+        assert main(["metrics", "--clients", "2", "--duration", "20",
+                     "--cores", "2"]) == 0
+        assert met.DEFAULT is before_reg
+        assert trc.DEFAULT is before_trc
+
+    def test_metrics_json(self, capsys):
+        rc = main([
+            "metrics", "--mix", "mixed",
+            "--clients", "2", "--duration", "30", "--cores", "2",
+            "--events", "5", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["tardis_txn_begin_total"]["value"] > 0
+        assert len(payload["events"]) <= 5
+
+    def test_metrics_prometheus(self, capsys):
+        rc = main([
+            "metrics", "--system", "bdb", "--mix", "write-heavy",
+            "--clients", "2", "--duration", "30", "--cores", "2",
+            "--prometheus",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE baseline_2pl_commit_total counter" in out
+        # no branch panel for a non-TARDiS system, but the dump works
+        assert "tardis_branch_fork_total" not in out
+
     def test_recover_command(self, tmp_path, capsys):
         wal = str(tmp_path / "wal.log")
         store = TardisStore("A", wal_path=wal)

@@ -150,6 +150,23 @@ class TestStats:
         assert stats.percentile(0) == 1
         assert stats.percentile(100) == 5
 
+    def test_percentile_sorted_view_cached(self):
+        """Repeated percentile queries reuse one sorted view; a new
+        sample invalidates it (regression: percentile() used to re-sort
+        the full sample list on every call)."""
+        stats = LatencyStats()
+        for v in [5, 1, 4, 2, 3]:
+            stats.record(v)
+        assert stats.sort_count == 0
+        assert stats.p50 == 3
+        assert stats.p99 == pytest.approx(4.96)
+        assert stats.percentile(25) == 2
+        assert stats.sort_count == 1  # one sort served all three queries
+        stats.record(0)
+        assert stats.p50 == 2.5  # new sample is visible...
+        assert stats.percentile(0) == 0
+        assert stats.sort_count == 2  # ...at the cost of exactly one re-sort
+
     def test_op_breakdown(self):
         bd = OpBreakdown()
         bd.record("get", 0.010, count=2)
