@@ -22,9 +22,11 @@ Quick start::
 
 from repro.core import (
     AncestorConstraint,
+    AncestryIndex,
     And,
     AnyConstraint,
     ClientSession,
+    CommitPipeline,
     ForkPath,
     ForkPoint,
     GarbageCollector,
@@ -54,9 +56,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AncestorConstraint",
+    "AncestryIndex",
     "And",
     "AnyConstraint",
     "ClientSession",
+    "CommitPipeline",
     "ForkPath",
     "ForkPoint",
     "GarbageCollector",

@@ -19,9 +19,10 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, List, Set, Tuple
 
+from repro.core.commit import install_writes
 from repro.errors import KeyNotFound, TransactionClosed, ValidationError
 from repro.obs import metrics as _met
-from repro.storage.btree import BTree
+from repro.storage.engine import RecordEngine, create_engine
 
 ACTIVE = "active"
 COMMITTED = "committed"
@@ -64,8 +65,11 @@ class OCCTransaction:
 class OCCStore:
     """Single-version KV store with backward OCC validation."""
 
-    def __init__(self, btree_degree: int = 16):
-        self._records = BTree(t=btree_degree)
+    def __init__(self, btree_degree: int = 16, engine: Any = None):
+        #: record substrate, pluggable via the RecordEngine registry.
+        self._records: RecordEngine = create_engine(
+            engine if engine is not None else "btree", degree=btree_degree
+        )
         #: committed write sets: list of (commit_seq, frozenset(keys)).
         self._history: List[Tuple[int, frozenset]] = []
         self._commit_seq = 0
@@ -78,7 +82,7 @@ class OCCStore:
         self.validation_checks = 0
 
     @property
-    def records(self) -> BTree:
+    def records(self) -> RecordEngine:
         return self._records
 
     def __len__(self) -> int:
@@ -139,8 +143,7 @@ class OCCStore:
                 m.inc("baseline_occ_abort_total")
                 m.inc("baseline_occ_validation_fail_total")
             raise
-        for key, value in txn.writes.items():
-            self._records.insert(key, value)
+        install_writes(self._records, txn.writes)
         if txn.writes:
             # Only read-write transactions enter the validation history:
             # the paper's modification (no validation against read-only).

@@ -21,9 +21,10 @@ import itertools
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.baselines.locks import LockManager, LockMode, LockRequest
+from repro.core.commit import install_writes
 from repro.errors import KeyNotFound, TransactionClosed
 from repro.obs import metrics as _met
-from repro.storage.btree import BTree
+from repro.storage.engine import RecordEngine, create_engine
 
 ACTIVE = "active"
 COMMITTED = "committed"
@@ -72,14 +73,22 @@ class LockingTransaction:
 class TwoPhaseLockingStore:
     """Single-version KV store with strict two-phase locking."""
 
-    def __init__(self, detect_deadlocks: bool = True, btree_degree: int = 16):
-        self._records = BTree(t=btree_degree)
+    def __init__(
+        self,
+        detect_deadlocks: bool = True,
+        btree_degree: int = 16,
+        engine: Any = None,
+    ):
+        #: record substrate, pluggable via the RecordEngine registry.
+        self._records: RecordEngine = create_engine(
+            engine if engine is not None else "btree", degree=btree_degree
+        )
         self.locks = LockManager(detect_deadlocks=detect_deadlocks)
         self.commits = 0
         self.aborts = 0
 
     @property
-    def records(self) -> BTree:
+    def records(self) -> RecordEngine:
         return self._records
 
     def __len__(self) -> int:
@@ -140,8 +149,7 @@ class TwoPhaseLockingStore:
     def commit(self, txn: LockingTransaction) -> List[LockRequest]:
         """Apply buffered writes, release locks; returns woken requests."""
         self._check(txn)
-        for key, value in txn.writes.items():
-            self._records.insert(key, value)
+        install_writes(self._records, txn.writes)
         txn.status = COMMITTED
         self.commits += 1
         m = _met.DEFAULT

@@ -6,8 +6,10 @@ garbage collection, and recovery.
 """
 
 from repro.core.ids import StateId, ROOT_ID, IdAllocator
+from repro.core.ancestry import AncestryIndex
 from repro.core.fork_path import ForkPoint, ForkPath
 from repro.core.state_dag import State, StateDAG
+from repro.core.commit import CommitPipeline, install_writes
 from repro.core.constraints import (
     AnyConstraint,
     SerializabilityConstraint,
@@ -31,10 +33,13 @@ __all__ = [
     "StateId",
     "ROOT_ID",
     "IdAllocator",
+    "AncestryIndex",
     "ForkPoint",
     "ForkPath",
     "State",
     "StateDAG",
+    "CommitPipeline",
+    "install_writes",
     "AnyConstraint",
     "SerializabilityConstraint",
     "SnapshotIsolationConstraint",

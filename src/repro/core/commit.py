@@ -1,0 +1,149 @@
+"""The unified commit pipeline (§6.1.2, §6.4, §6.5).
+
+Before this module, every commit-shaped operation — a single-mode
+commit, a merge commit, and the replicator's ``apply_remote`` — wired
+the same sequence by hand: install the new state into the DAG, insert
+the written record versions, append to the write-ahead log, bump the
+observability counters. :class:`CommitPipeline` owns that sequence as
+one code path, parameterized only by the commit's *origin*:
+
+* ``LOCAL`` — an ordinary single-mode commit;
+* ``MERGE`` — a merge-mode commit over several parents (§6.2);
+* ``REMOTE`` — a replicated transaction grafted at its designated
+  state id (§6.4).
+
+Constraint evaluation (ripple-down, end checks) stays in the store —
+those decide *whether and where* to commit; the pipeline performs the
+commit once that decision is made. Being the single choke point also
+makes it the natural place for group-commit batching of asynchronous
+log appends and, later, fault injection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.core.ids import StateId
+from repro.core.state_dag import State, StateDAG
+from repro.core.transaction import OpTrace
+from repro.core.versions import VersionedRecordStore
+from repro.obs import metrics as _met
+from repro.storage.wal import WriteAheadLog
+
+#: commit origins
+LOCAL = "local"
+MERGE = "merge"
+REMOTE = "remote"
+
+
+def install_writes(engine: Any, writes: Dict[Any, Any]) -> int:
+    """Apply a committed write set to a flat record engine.
+
+    The non-versioned half of the story: the lock-based and OCC
+    baselines keep a single current value per key, so their commit step
+    is a plain engine insert per write. Shared here so every store's
+    write-apply loop is the same code. Returns the number of writes
+    applied.
+    """
+    insert = engine.insert
+    for key, value in writes.items():
+        insert(key, value)
+    return len(writes)
+
+
+class CommitPipeline:
+    """One code path for DAG installation, version insertion, WAL, metrics.
+
+    ``group_commit`` enables group-commit batching for an *asynchronous*
+    WAL (``sync=False``): buffered log records are force-flushed to disk
+    every ``group_commit`` appends, bounding the window of commits a
+    crash can lose while amortizing the fsync. It is ignored for a
+    synchronous WAL (every append already reaches the OS) and when 0
+    (flush only on explicit ``flush()``/``close()``, the paper's pure
+    asynchronous mode).
+    """
+
+    __slots__ = ("dag", "versions", "wal", "log_values", "group_commit", "_unflushed")
+
+    def __init__(
+        self,
+        dag: StateDAG,
+        versions: VersionedRecordStore,
+        wal: Optional[WriteAheadLog] = None,
+        log_values: bool = True,
+        group_commit: int = 0,
+    ):
+        self.dag = dag
+        self.versions = versions
+        self.wal = wal
+        self.log_values = log_values
+        self.group_commit = int(group_commit)
+        self._unflushed = 0
+
+    def commit(
+        self,
+        parents: Sequence[State],
+        writes: Dict[Any, Any],
+        read_keys: FrozenSet = frozenset(),
+        write_keys: Optional[Iterable[Any]] = None,
+        state_id: Optional[StateId] = None,
+        origin: str = LOCAL,
+        trace: Optional[OpTrace] = None,
+    ) -> State:
+        """Install one committed transaction and return its new state.
+
+        ``state_id`` is given only for ``REMOTE`` commits (the state
+        keeps its origin-site id, §6.4). The caller holds the store lock
+        and has already settled all constraint questions.
+        """
+        state = self.dag.create_state(
+            parents,
+            read_keys=read_keys,
+            write_keys=frozenset(write_keys if write_keys is not None else writes),
+            state_id=state_id,
+        )
+        for key, value in writes.items():
+            self.versions.write(key, state.id, value)
+        if trace is not None:
+            trace.writes_applied += len(writes)
+        self._append_log(state, writes)
+        self._observe(origin, parents, writes)
+        return state
+
+    # -- write-ahead logging (§6.5) ----------------------------------------
+
+    def _append_log(self, state: State, writes: Dict[Any, Any]) -> None:
+        wal = self.wal
+        if wal is None:
+            return
+        wal.append_commit(
+            state.id,
+            tuple(p.id for p in state.parents),
+            tuple(writes.keys()),
+            values=dict(writes) if self.log_values else None,
+        )
+        if self.group_commit > 1 and not wal.sync:
+            self._unflushed += 1
+            if self._unflushed >= self.group_commit:
+                wal.flush()
+                self._unflushed = 0
+                m = _met.DEFAULT
+                if m.enabled:
+                    m.inc("tardis_wal_group_flush_total")
+
+    # -- observability -----------------------------------------------------
+
+    def _observe(
+        self, origin: str, parents: Sequence[State], writes: Dict[Any, Any]
+    ) -> None:
+        m = _met.DEFAULT
+        if not m.enabled:
+            return
+        if origin == REMOTE:
+            m.inc("tardis_repl_remote_apply_total")
+            return
+        m.inc("tardis_txn_commit_total")
+        m.observe("tardis_txn_write_keys", len(writes))
+        if origin == MERGE:
+            m.inc("tardis_branch_merge_total")
+            m.observe("tardis_merge_parents", len(parents))

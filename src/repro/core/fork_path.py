@@ -16,6 +16,15 @@ dependency checking (§6.1.3).
 Merge states take the *union* of their parents' fork paths: carrying both
 ``(i, b1)`` and ``(i, b2)`` is precisely what makes the records of both
 merged branches visible downstream of the merge.
+
+Representation note: the visibility hot path no longer operates on this
+class. Each :class:`~repro.core.state_dag.StateDAG` owns an
+:class:`~repro.core.ancestry.AncestryIndex` that interns every fork
+point to a bit position; a state's fork path is stored as an int bitmask
+and the Figure 7 subset test is ``x_mask & y_mask == x_mask``.
+:class:`ForkPath` survives as the thin decoded *view* — used for repr,
+serialization, the replication wire format, and tests — produced on
+demand by ``State.fork_path`` / ``AncestryIndex.path_of``.
 """
 
 from __future__ import annotations

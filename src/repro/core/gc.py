@@ -213,27 +213,10 @@ class GarbageCollector:
             if not removed:
                 break
         if dead_forks:
-            stats.fork_entries_scrubbed = self._scrub_paths(dead_forks)
-
-    def _scrub_paths(self, dead_forks: Set[StateId]) -> int:
-        """Drop fork-path entries that reference collapsed forks.
-
-        Keeps fork paths proportional to *live* conflicts, which is what
-        makes the Figure 7 subset check cheap over long executions
-        (§6.1.3).
-        """
-        from repro.core.fork_path import ForkPath
-
-        dag = self._store.dag
-        scrubbed = 0
-        for state in dag.states():
-            dead = [p for p in state.fork_path if p.state_id in dead_forks]
-            if dead:
-                state.fork_path = ForkPath(
-                    p for p in state.fork_path if p.state_id not in dead_forks
-                )
-                scrubbed += len(dead)
-        return scrubbed
+            # Dead-fork rewriting now happens through the ancestry index:
+            # the dead forks' bits are cleared from every live state's
+            # mask and their positions retired for reuse (§6.1.3, §6.3).
+            stats.fork_entries_scrubbed = dag.retire_forks(dead_forks)
 
     def _all_promotion_ids(self):
         dag = self._store.dag

@@ -25,6 +25,7 @@ import pickle
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.ids import StateId
+from repro.core.store import TardisStore
 from repro.storage.wal import CHECKPOINT, COMMIT, WriteAheadLog
 
 _MISSING = object()
@@ -87,8 +88,6 @@ def recover_store(
     discard-suffix rule. Returns ``(store, report)`` where ``report``
     counts replayed/discarded transactions.
     """
-    from repro.core.store import TardisStore
-
     factory = store_factory or TardisStore
     store = factory(site, **store_kwargs)
     report = {"checkpoint_states": 0, "replayed": 0, "discarded": 0}

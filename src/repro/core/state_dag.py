@@ -20,12 +20,24 @@ Forks arise between near-concurrent commits, so that subtree is almost
 always tiny — this is the price of keeping ``descendant_check`` a pure
 subset test. Branch numbers come from a per-state counter so they remain
 stable when garbage collection splices intermediate states out.
+
+Fork-path *representation* (§6.1.3): each DAG owns an
+:class:`~repro.core.ancestry.AncestryIndex` that interns every fork
+point to a small bit position, and a state stores its fork path as an
+immutable int bitmask (``State.path_mask``). The Figure 7 subset test is
+then a single integer operation — ``x_mask & y_mask == x_mask`` — with
+no hashing or allocation per probe. ``State.fork_path`` remains as a
+decoded :class:`ForkPath` view for repr, serialization, and the
+branch-structure queries; garbage collection retires the bits of fully
+collapsed forks through the index (:meth:`StateDAG.retire_forks`) so the
+bit universe tracks *live* conflicts, not history length.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro.core.ancestry import AncestryIndex, popcount
 from repro.core.fork_path import ForkPath, ForkPoint
 from repro.core.ids import ROOT_ID, IdAllocator, StateId
 from repro.errors import GarbageCollectedError
@@ -40,7 +52,8 @@ class State:
         "id",
         "parents",
         "children",
-        "fork_path",
+        "path_mask",
+        "ancestry",
         "read_keys",
         "write_keys",
         "next_branch",
@@ -53,14 +66,19 @@ class State:
         self,
         state_id: StateId,
         parents: Tuple["State", ...],
-        fork_path: ForkPath,
+        path_mask: int,
+        ancestry: AncestryIndex,
         read_keys: FrozenSet = frozenset(),
         write_keys: FrozenSet = frozenset(),
     ):
         self.id = state_id
         self.parents = parents
         self.children: List[State] = []
-        self.fork_path = fork_path
+        #: fork path as an int bitmask over ``ancestry``'s interned
+        #: fork points; the Figure 7 subset test operates on this.
+        self.path_mask = path_mask
+        #: the owning DAG's ancestry index (for decoding the mask).
+        self.ancestry = ancestry
         #: read set of the transaction that created this state
         #: (needed by the Serializability end constraint, §6.1.1).
         self.read_keys = read_keys
@@ -76,6 +94,15 @@ class State:
         self.marked = False
         #: set by the safe-to-gc pass (§6.3).
         self.safe_to_gc = False
+
+    @property
+    def fork_path(self) -> ForkPath:
+        """Decoded :class:`ForkPath` view of :attr:`path_mask`.
+
+        Read-only and rebuilt on access — use it for repr, serialization
+        and branch-structure queries, never on the visibility hot path.
+        """
+        return self.ancestry.path_of(self.path_mask)
 
     @property
     def is_leaf(self) -> bool:
@@ -111,7 +138,9 @@ class StateDAG:
     def __init__(self, site: str):
         self.site = site
         self._allocator = IdAllocator(site)
-        self.root = State(ROOT_ID, (), ForkPath.EMPTY)
+        #: interns fork points to bit positions; owns mask encoding.
+        self.ancestry = AncestryIndex()
+        self.root = State(ROOT_ID, (), 0, self.ancestry)
         self._states: Dict[StateId, State] = {ROOT_ID: self.root}
         # Leaves in insertion order; iterated newest-first for BFS.
         self._leaves: Dict[StateId, State] = {ROOT_ID: self.root}
@@ -197,12 +226,14 @@ class StateDAG:
                 # subtree retroactively learns the branch it is on.
                 first = parent.children[0]
                 self._retro_add(first, ForkPoint(parent.id, 0))
-        path = parents[0].fork_path.union(*(p.fork_path for p in parents[1:]))
+        mask = 0
+        for parent in parents:
+            mask |= parent.path_mask
         for parent, branch in zip(parents, branches):
             if branch >= 1:
-                path = path.add(ForkPoint(parent.id, branch))
+                mask |= self.ancestry.intern(ForkPoint(parent.id, branch))
 
-        state = State(state_id, parents, path, read_keys, write_keys)
+        state = State(state_id, parents, mask, self.ancestry, read_keys, write_keys)
         for parent in parents:
             parent.children.append(state)
             parent.next_branch += 1
@@ -212,6 +243,7 @@ class StateDAG:
         return state
 
     def _retro_add(self, subtree_root: State, point: ForkPoint) -> None:
+        bit = self.ancestry.intern(point)
         stack = [subtree_root]
         visited: Set[StateId] = set()
         while stack:
@@ -219,7 +251,7 @@ class StateDAG:
             if state.id in visited:
                 continue
             visited.add(state.id)
-            state.fork_path = state.fork_path.add(point)
+            state.path_mask |= bit
             stack.extend(state.children)
             self.retro_updates += 1
         m = _met.DEFAULT
@@ -229,12 +261,17 @@ class StateDAG:
     # -- visibility (Figure 7) ---------------------------------------------
 
     def descendant_check(self, x: State, y: State) -> bool:
-        """True when state ``y`` can see records written at state ``x``."""
+        """True when state ``y`` can see records written at state ``x``.
+
+        The fork-path subset test of Figure 7, evaluated over interned
+        bitmasks: ``x ⊆ y`` is ``x_mask & y_mask == x_mask``.
+        """
         if x.id == y.id:
             return True
         if x.id > y.id:
             return False
-        return x.fork_path.issubset(y.fork_path)
+        x_mask = x.path_mask
+        return x_mask & y.path_mask == x_mask
 
     def descendant_check_ids(self, x_id: StateId, y_id: StateId) -> bool:
         return self.descendant_check(self.resolve(x_id), self.resolve(y_id))
@@ -304,9 +341,9 @@ class StateDAG:
         states = list(states)
         diverging: Set[StateId] = set()
         for i, x in enumerate(states):
-            x_choices = _choices_by_fork(x.fork_path)
+            x_choices = self.ancestry.choices_by_fork(x.path_mask)
             for y in states[i + 1 :]:
-                y_choices = _choices_by_fork(y.fork_path)
+                y_choices = self.ancestry.choices_by_fork(y.path_mask)
                 for fork_id in set(x_choices) & set(y_choices):
                     xb, yb = x_choices[fork_id], y_choices[fork_id]
                     if xb - yb and yb - xb:
@@ -370,6 +407,29 @@ class StateDAG:
             t.event("gc.promotion", state=state.id, promoted_to=child.id, site=self.site)
         return child
 
+    def retire_forks(self, dead_fork_ids: Set[StateId]) -> int:
+        """Scrub fork-path entries of fully collapsed forks (§6.3).
+
+        Clears the dead forks' bits from every live state's mask, then
+        retires the bit positions through the ancestry index so they can
+        be reused. Keeps fork paths proportional to *live* conflicts,
+        which is what makes the Figure 7 subset check cheap over long
+        executions (§6.1.3). Returns the number of entries scrubbed
+        across all live states.
+        """
+        dead_mask = self.ancestry.mask_of_forks(dead_fork_ids)
+        if not dead_mask:
+            return 0
+        keep = ~dead_mask
+        scrubbed = 0
+        for state in self._states.values():
+            overlap = state.path_mask & dead_mask
+            if overlap:
+                scrubbed += popcount(overlap)
+                state.path_mask &= keep
+        self.ancestry.release_forks(dead_fork_ids)
+        return scrubbed
+
     def promotion_of(self, state_id: StateId) -> Optional[StateId]:
         return self._promotions.get(state_id)
 
@@ -393,14 +453,16 @@ class StateDAG:
         agreement between the fork-path visibility test and the reference
         graph walk on sampled pairs.
         """
+        self.ancestry.check_invariants()
         states = list(self._states.values())
         leaf_ids = {s.id for s in self._leaves.values()}
         for state in states:
             assert (state.id in leaf_ids) == state.is_leaf, state
+            assert state.ancestry is self.ancestry, state
             for parent in state.parents:
                 assert parent.id < state.id, "child id not greater than parent"
                 assert state in parent.children, "parent/child asymmetry"
-                assert parent.fork_path.issubset(state.fork_path), (
+                assert parent.path_mask & state.path_mask == parent.path_mask, (
                     "child path misses parent entries: %r -> %r"
                     % (parent, state)
                 )
@@ -414,10 +476,3 @@ class StateDAG:
                 assert self.descendant_check(x, y) == self.ancestor_walk_check(
                     x, y
                 ), (x.id, y.id)
-
-
-def _choices_by_fork(path: ForkPath) -> Dict[StateId, Set[int]]:
-    choices: Dict[StateId, Set[int]] = {}
-    for point in path:
-        choices.setdefault(point.state_id, set()).add(point.branch)
-    return choices

@@ -27,6 +27,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.core.commit import LOCAL, MERGE, REMOTE, CommitPipeline
 from repro.core.constraints import (
     AncestorConstraint,
     AnyConstraint,
@@ -34,6 +35,7 @@ from repro.core.constraints import (
     SerializabilityConstraint,
     StateIdConstraint,
 )
+from repro.core.gc import GarbageCollector
 from repro.core.ids import ROOT_ID, StateId
 from repro.core.merge import MergeTransaction
 from repro.core.state_dag import State, StateDAG
@@ -122,7 +124,9 @@ class TardisStore:
         log_values: bool = True,
         btree_degree: int = 16,
         seed: Optional[int] = 0,
-        backend: str = "btree",
+        backend: Optional[str] = None,
+        engine: Any = None,
+        group_commit: int = 0,
     ):
         self.site = site
         #: paper defaults: Ancestor begin, Serializability end (§5.1).
@@ -130,7 +134,7 @@ class TardisStore:
         self.default_end = default_end or SerializabilityConstraint()
         self.dag = StateDAG(site)
         self.versions = VersionedRecordStore(
-            btree_degree=btree_degree, seed=seed, backend=backend
+            btree_degree=btree_degree, seed=seed, backend=backend, engine=engine
         )
         self.metrics = StoreMetrics()
         self._lock = threading.RLock()
@@ -139,10 +143,15 @@ class TardisStore:
         self.wal: Optional[WriteAheadLog] = (
             WriteAheadLog(wal_path, sync=wal_sync) if wal_path else None
         )
-        self._log_values = log_values
-        # Imported here to avoid a cycle: gc.py imports store types.
-        from repro.core.gc import GarbageCollector
-
+        #: the single commit code path: DAG install, version insert,
+        #: WAL append (with optional group-commit batching), metrics.
+        self.pipeline = CommitPipeline(
+            self.dag,
+            self.versions,
+            wal=self.wal,
+            log_values=log_values,
+            group_commit=group_commit,
+        )
         self.gc = GarbageCollector(self)
         #: listeners notified of each local commit (the replicator hooks in).
         self._commit_listeners: List = []
@@ -341,12 +350,13 @@ class TardisStore:
                     "no commit state satisfies end constraint %s" % constraint.name
                 )
             created_fork = bool(current.children)
-            state = self.dag.create_state(
+            state = self.pipeline.commit(
                 [current],
+                txn.writes,
                 read_keys=frozenset(txn.read_keys),
-                write_keys=frozenset(txn.writes),
+                origin=LOCAL,
+                trace=txn.trace,
             )
-            self._install_writes(state, txn.writes, txn.trace)
             txn.trace.created_fork = created_fork
             self.metrics.commits += 1
             if created_fork:
@@ -354,12 +364,9 @@ class TardisStore:
             txn.commit_id = state.id
             txn.session.last_commit_id = state.id
             self._finish(txn, COMMITTED)
-            self._log_commit(state, txn.writes)
             m = _met.DEFAULT
             if m.enabled:
-                m.inc("tardis_txn_commit_total")
                 m.observe("tardis_commit_ripple_steps", txn.trace.ripple_steps)
-                m.observe("tardis_txn_write_keys", len(txn.writes))
                 if created_fork:
                     m.inc("tardis_branch_fork_total")
             t = _trc.DEFAULT
@@ -394,24 +401,18 @@ class TardisStore:
                             "merge parent %r fails end constraint %s"
                             % (parent.id, constraint.name)
                         )
-            state = self.dag.create_state(
+            state = self.pipeline.commit(
                 txn.read_states,
+                txn.writes,
                 read_keys=frozenset(txn.read_keys),
-                write_keys=frozenset(txn.writes),
+                origin=MERGE,
+                trace=txn.trace,
             )
-            self._install_writes(state, txn.writes, txn.trace)
             self.metrics.commits += 1
             self.metrics.merges += 1
             txn.commit_id = state.id
             txn.session.last_commit_id = state.id
             self._finish(txn, COMMITTED)
-            self._log_commit(state, txn.writes)
-            m = _met.DEFAULT
-            if m.enabled:
-                m.inc("tardis_txn_commit_total")
-                m.inc("tardis_branch_merge_total")
-                m.observe("tardis_merge_parents", len(txn.read_states))
-                m.observe("tardis_txn_write_keys", len(txn.writes))
             t = _trc.DEFAULT
             if t.enabled:
                 t.event(
@@ -423,21 +424,6 @@ class TardisStore:
                 )
         self._notify_commit(state, txn.writes)
         return state.id
-
-    def _install_writes(self, state: State, writes: Dict[Any, Any], trace: OpTrace) -> None:
-        for key, value in writes.items():
-            self.versions.write(key, state.id, value)
-            trace.writes_applied += 1
-
-    def _log_commit(self, state: State, writes: Dict[Any, Any]) -> None:
-        if self.wal is None:
-            return
-        self.wal.append_commit(
-            state.id,
-            tuple(p.id for p in state.parents),
-            tuple(writes.keys()),
-            values=dict(writes) if self._log_values else None,
-        )
 
     # -- replication hooks (§6.4) -----------------------------------------------
 
@@ -491,19 +477,15 @@ class TardisStore:
                 # on; the paper aborts transactions that need states an
                 # erroneous ceiling collected (§6.4).
                 raise GarbageCollectedError(state_id)
-            state = self.dag.create_state(
+            state = self.pipeline.commit(
                 parents,
+                writes,
                 read_keys=frozenset(read_keys),
-                write_keys=frozenset(write_keys if write_keys is not None else writes),
+                write_keys=write_keys,
                 state_id=state_id,
+                origin=REMOTE,
             )
-            trace = OpTrace()
-            self._install_writes(state, writes, trace)
             self.metrics.remote_applied += 1
-            self._log_commit(state, writes)
-            m = _met.DEFAULT
-            if m.enabled:
-                m.inc("tardis_repl_remote_apply_total")
         return state.id
 
     # -- convenience autocommit helpers ----------------------------------------

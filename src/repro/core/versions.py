@@ -23,40 +23,38 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from repro.core.ids import StateId
 from repro.core.state_dag import State, StateDAG
 from repro.errors import GarbageCollectedError
-from repro.storage.btree import BTree
+from repro.storage.engine import RecordEngine, create_engine
 from repro.storage.skiplist import SkipList
 
 
 class VersionedRecordStore:
-    """Key-version mapping plus the backing record store.
+    """Key-version mapping plus the backing record engine.
 
-    ``backend`` selects the record engine: ``"btree"`` (the TARDiS-BDB
+    ``engine`` is a :class:`~repro.storage.engine.RecordEngine` instance
+    or registered engine name: ``"btree"`` (the TARDiS-BDB
     configuration, default) or ``"hash"`` (the TARDiS-MDB configuration,
-    §6.6).
+    §6.6). ``backend`` is the older string-only spelling, kept as an
+    alias.
     """
 
     def __init__(
         self,
         btree_degree: int = 16,
         seed: Optional[int] = None,
-        backend: str = "btree",
+        backend: Optional[str] = None,
+        engine: Any = None,
     ):
         self._versions: Dict[Any, SkipList] = {}
-        if backend == "btree":
-            self._records = BTree(t=btree_degree)
-        elif backend == "hash":
-            from repro.storage.hashstore import HashStore
-
-            self._records = HashStore()
-        else:
-            raise ValueError("unknown record backend %r" % backend)
+        if engine is None:
+            engine = backend if backend is not None else "btree"
+        self._records: RecordEngine = create_engine(engine, degree=btree_degree)
         self._seed = seed
         self._next_list = 0
 
     # -- introspection -----------------------------------------------------
 
     @property
-    def records(self) -> BTree:
+    def records(self) -> RecordEngine:
         return self._records
 
     def num_records(self) -> int:

@@ -142,12 +142,15 @@ class PartitionedStore(TardisStore):
         super().__init__(site, btree_degree=btree_degree, seed=seed, **kwargs)
         # Replace the monolithic storage layer with the sharded one; the
         # consistency layer (DAG, constraints, sessions) is untouched.
+        # The commit pipeline must be repointed too — it holds the
+        # version-store reference used for write installation.
         self.versions = ShardedRecordStore(
             n_shards=n_shards,
             btree_degree=btree_degree,
             seed=seed,
             shard_of=shard_of,
         )
+        self.pipeline.versions = self.versions
 
     @property
     def n_shards(self) -> int:

@@ -51,9 +51,13 @@ class Cluster:
         default_latency_ms: float = 50.0,
         gc_mode: str = OPTIMISTIC,
         store_kwargs: Optional[dict] = None,
+        engine: Any = None,
     ):
         if sites is None:
             sites = SITE_NAMES[:n_sites]
+        store_kwargs = dict(store_kwargs or {})
+        if engine is not None:
+            store_kwargs.setdefault("engine", engine)
         self.sim = sim or Simulator()
         self.network = SimNetwork(self.sim, default_latency_ms=default_latency_ms)
         for pair, lat in (latencies or GEO_LATENCIES).items():
@@ -62,7 +66,7 @@ class Cluster:
         self.stores: Dict[str, TardisStore] = {}
         self.replicators: Dict[str, Replicator] = {}
         for site in sites:
-            store = TardisStore(site, **(store_kwargs or {}))
+            store = TardisStore(site, **store_kwargs)
             self.stores[site] = store
             self.replicators[site] = Replicator(store, self.network)
         self.gc_mode = gc_mode
@@ -168,7 +172,12 @@ def run_replicated_workload(
     transactions (§7.1.6), so aggregate throughput scales with sites.
     """
     sim = Simulator()
-    cluster = Cluster(n_sites=n_sites, sim=sim, default_latency_ms=default_latency_ms)
+    cluster = Cluster(
+        n_sites=n_sites,
+        sim=sim,
+        default_latency_ms=default_latency_ms,
+        store_kwargs={"engine": config.engine},
+    )
     measures = []
     adapters = []
     site_cores = {}

@@ -19,9 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.baselines.occ import _MISSING as _OCC_MISSING
 from repro.baselines.occ import OCCStore
+from repro.baselines.seqstore import _MISSING as _LOCK_MISSING
 from repro.baselines.seqstore import TwoPhaseLockingStore
-from repro.core.constraints import Constraint
+from repro.core.constraints import (
+    AncestorConstraint,
+    Constraint,
+    NoBranchingConstraint,
+    SerializabilityConstraint,
+)
+from repro.core.ids import ROOT_ID
 from repro.core.store import TardisStore
 from repro.core.transaction import Transaction
 from repro.errors import DeadlockError, TransactionAborted, ValidationError
@@ -113,15 +121,12 @@ class TardisAdapter(SystemAdapter):
         pressure_threshold: int = 50_000,
         costs: Optional[CostModel] = None,
         merge_resolver=None,
+        engine: Any = None,
     ):
         super().__init__(costs)
-        from repro.core.constraints import (
-            AncestorConstraint,
-            NoBranchingConstraint,
-            SerializabilityConstraint,
-        )
-
-        self.store = store or TardisStore("sim")
+        if store is None:
+            store = TardisStore("sim", engine=engine)
+        self.store = store
         self.begin_constraint = begin_constraint or AncestorConstraint()
         if end_constraint is not None:
             self.end_constraint = end_constraint
@@ -215,8 +220,6 @@ class TardisAdapter(SystemAdapter):
         if len(leaves) > 1:
             cost += self.merge_all_lww()
         if self.gc_enabled:
-            from repro.core.ids import ROOT_ID
-
             for session in self.store.sessions():
                 # Only active client sessions place ceilings. A session
                 # that never committed still carries the original root as
@@ -303,9 +306,12 @@ class TwoPLAdapter(SystemAdapter):
         store: Optional[TwoPhaseLockingStore] = None,
         costs: Optional[CostModel] = None,
         select_for_update: bool = False,
+        engine: Any = None,
     ):
         super().__init__(costs)
-        self.store = store or TwoPhaseLockingStore()
+        if store is None:
+            store = TwoPhaseLockingStore(engine=engine)
+        self.store = store
         #: when true, reads of to-be-written keys take the X lock up
         #: front. The paper's BDB client reads then upgrades (its
         #: Table 3 put costs and Figure 14d goodput reflect the
@@ -352,13 +358,11 @@ class TwoPLAdapter(SystemAdapter):
                 serial=self.costs.lock_wait_overhead,
                 token=payload,
             )
-        from repro.baselines.seqstore import _MISSING
-
         # Reads cost the same whether the lock taken is S or X
         # (SELECT-FOR-UPDATE changes the mode, not the work).
         cost = self.costs.lock_acquire + self.costs.btree_access
         return OpResult(
-            "ok", value=None if payload is _MISSING else payload, cost=cost
+            "ok", value=None if payload is _LOCK_MISSING else payload, cost=cost
         )
 
     def write(self, txn: Any, key: Any, value: Any) -> OpResult:
@@ -416,10 +420,15 @@ class OCCAdapter(SystemAdapter):
     name = "occ"
 
     def __init__(
-        self, store: Optional[OCCStore] = None, costs: Optional[CostModel] = None
+        self,
+        store: Optional[OCCStore] = None,
+        costs: Optional[CostModel] = None,
+        engine: Any = None,
     ):
         super().__init__(costs)
-        self.store = store or OCCStore()
+        if store is None:
+            store = OCCStore(engine=engine)
+        self.store = store
 
     def preload(self, items: Dict[Any, Any]) -> None:
         txn = self.store.begin()
@@ -431,12 +440,10 @@ class OCCAdapter(SystemAdapter):
         return self.store.begin(), self.costs.txn_overhead + self.costs.occ_begin
 
     def read(self, txn: Any, key: Any, will_write: bool = False) -> OpResult:
-        from repro.baselines.occ import _MISSING
-
         value = self.store.read(txn, key)
         return OpResult(
             "ok",
-            value=None if value is _MISSING else value,
+            value=None if value is _OCC_MISSING else value,
             cost=self.costs.btree_access,
         )
 

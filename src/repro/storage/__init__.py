@@ -7,6 +7,21 @@ from scratch so the whole system is self-contained.
 
 from repro.storage.skiplist import SkipList
 from repro.storage.btree import BTree
+from repro.storage.engine import (
+    RecordEngine,
+    available_engines,
+    create_engine,
+    register_engine,
+)
 from repro.storage.wal import WriteAheadLog, LogRecord
 
-__all__ = ["SkipList", "BTree", "WriteAheadLog", "LogRecord"]
+__all__ = [
+    "SkipList",
+    "BTree",
+    "WriteAheadLog",
+    "LogRecord",
+    "RecordEngine",
+    "available_engines",
+    "create_engine",
+    "register_engine",
+]

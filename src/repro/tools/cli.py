@@ -20,17 +20,22 @@ import argparse
 import json
 import sys
 
+from repro.core.recovery import recover_store
 from repro.core.store import TardisStore
+from repro.obs import MetricsRegistry, Tracer, export
+from repro.obs import metrics as _met
+from repro.obs import tracing as _trc
 from repro.sim.adapters import OCCAdapter, TardisAdapter, TwoPLAdapter
+from repro.storage.engine import available_engines
 from repro.tools.inspect import dag_to_dot, describe_store, store_summary
 from repro.workload import RunConfig, YCSBWorkload, run_simulation
 from repro.workload.mixes import BLIND_WRITE, MIXED, READ_HEAVY, READ_ONLY, WRITE_HEAVY
 
 SYSTEMS = {
-    "tardis": lambda: TardisAdapter(branching=True),
-    "tardis-nb": lambda: TardisAdapter(branching=False),
-    "bdb": TwoPLAdapter,
-    "occ": OCCAdapter,
+    "tardis": lambda engine=None: TardisAdapter(branching=True, engine=engine),
+    "tardis-nb": lambda engine=None: TardisAdapter(branching=False, engine=engine),
+    "bdb": lambda engine=None: TwoPLAdapter(engine=engine),
+    "occ": lambda engine=None: OCCAdapter(engine=engine),
 }
 
 MIXES = {
@@ -43,7 +48,7 @@ MIXES = {
 
 
 def cmd_bench(args) -> int:
-    adapter = SYSTEMS[args.system]()
+    adapter = SYSTEMS[args.system](engine=args.engine)
     workload = YCSBWorkload(
         mix=MIXES[args.mix], n_keys=args.keys, pattern=args.pattern
     )
@@ -54,6 +59,7 @@ def cmd_bench(args) -> int:
         cores=args.cores,
         seed=args.seed,
         maintenance_interval_ms=5.0 if args.system.startswith("tardis") else None,
+        engine=args.engine,
     )
     result = run_simulation(adapter, workload, config)
     if args.json:
@@ -98,8 +104,6 @@ def cmd_demo(args) -> int:
 
 
 def cmd_recover(args) -> int:
-    from repro.core.recovery import recover_store
-
     store, report = recover_store("recovered", args.wal)
     print("recovery report:", json.dumps(report))
     print()
@@ -108,11 +112,7 @@ def cmd_recover(args) -> int:
 
 
 def cmd_metrics(args) -> int:
-    from repro.obs import MetricsRegistry, Tracer, export
-    from repro.obs import metrics as _met
-    from repro.obs import tracing as _trc
-
-    adapter = SYSTEMS[args.system]()
+    adapter = SYSTEMS[args.system](engine=args.engine)
     workload = YCSBWorkload(
         mix=MIXES[args.mix], n_keys=args.keys, pattern=args.pattern
     )
@@ -126,6 +126,7 @@ def cmd_metrics(args) -> int:
         # The runner would swap in its own per-run registry; we install
         # ours instead so the tracer and exporters see live objects.
         collect_metrics=False,
+        engine=args.engine,
     )
     registry = MetricsRegistry(enabled=True)
     tracer = Tracer(capacity=max(args.events * 8, 1024), enabled=True)
@@ -218,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="run one microbenchmark point")
     bench.add_argument("--system", choices=sorted(SYSTEMS), default="tardis")
+    bench.add_argument("--engine", choices=available_engines(), default="btree")
     bench.add_argument("--mix", choices=sorted(MIXES), default="read-heavy")
     bench.add_argument("--pattern", choices=["uniform", "zipfian"], default="uniform")
     bench.add_argument("--clients", type=int, default=16)
@@ -240,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="run a short workload and show branch/GC health"
     )
     metrics.add_argument("--system", choices=sorted(SYSTEMS), default="tardis")
+    metrics.add_argument("--engine", choices=available_engines(), default="btree")
     metrics.add_argument("--mix", choices=sorted(MIXES), default="mixed")
     metrics.add_argument("--pattern", choices=["uniform", "zipfian"], default="uniform")
     metrics.add_argument("--clients", type=int, default=16)

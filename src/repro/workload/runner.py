@@ -37,6 +37,9 @@ class RunConfig:
     #: ``RunResult.obs_metrics``); the run installs it as the library
     #: default so store-level counters land in it too.
     collect_metrics: bool = True
+    #: record engine for the stores built from this config (a name from
+    #: :func:`repro.storage.engine.available_engines`).
+    engine: str = "btree"
 
 
 @dataclass
@@ -412,6 +415,7 @@ def sweep_clients(
             maintenance_interval_ms=base.maintenance_interval_ms,
             sample_interval_ms=base.sample_interval_ms,
             collect_metrics=base.collect_metrics,
+            engine=base.engine,
         )
         results.append(run_simulation(adapter_factory(), workload_factory(), cfg))
     return results
