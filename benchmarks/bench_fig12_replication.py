@@ -25,7 +25,12 @@ def _measure():
             run_replicated_workload(
                 n,
                 lambda: YCSBWorkload(mix=mix, n_keys=N_KEYS),
-                config(n_clients=8, cores=4, maintenance_interval_ms=10),
+                config(
+                    n_clients=8,
+                    cores=4,
+                    maintenance_interval_ms=10,
+                    series_interval_ms=5,
+                ),
             )
             for n in SITES
         ]
@@ -76,11 +81,28 @@ def test_fig12_replication_scalability(benchmark):
     # Replication counters from the 3-site write-heavy run.
     obs = results[WRITE_HEAVY][-1].obs_metrics
     for name, data in sorted(obs.items()):
-        if data.get("type") == "counter" and name.startswith("tardis_repl"):
+        if data.get("type") == "counter" and name.startswith(
+            ("tardis_repl", "tardis_net")
+        ):
             report.metric(name, data["value"])
+    # Divergence time-series from the same run (branch count per site,
+    # replication lag per peer pair) — how divergence evolved over the run.
+    series = {
+        name: data["samples"]
+        for name, data in sorted(obs.items())
+        if data.get("type") == "series"
+    }
+    report.metric("series", series)
     report.metric("rh_scaling_1_to_3", rh3 / rh1)
     report.metric("wh_scaling_1_to_3", wh3 / wh1)
     report.finish()
+
+    # The windowed series actually sampled the divergence the run created.
+    assert any(
+        name.startswith("tardis_branch_count@") and samples
+        for name, samples in series.items()
+    )
+    assert series.get("tardis_repl_lag@total")
 
     # Near-linear aggregate scaling.
     assert rh3 > 2.2 * rh1

@@ -133,12 +133,15 @@ def result_metrics(result) -> Dict[str, Any]:
         "op_breakdown_ms": dict(result.op_breakdown_ms),
     }
     # Fold in the per-run observability counters (forks, merges, GC...):
-    # histograms reduce to their summary values.
+    # histograms reduce to their summary values; windowed series keep
+    # their full (t, value) sample lists under a "series" sub-dict.
     for name, data in sorted(result.obs_metrics.items()):
         if data.get("type") == "counter":
             out[name] = data["value"]
         elif data.get("type") == "gauge":
             out[name] = data["value"]
+        elif data.get("type") == "series":
+            out.setdefault("series", {})[name] = data["samples"]
     if result.adapter_stats:
         out["adapter_stats"] = dict(result.adapter_stats)
     return out
@@ -225,7 +228,10 @@ def run_smoke(duration_ms: float = 60.0, n_clients: int = 8) -> str:
     from repro.workload.mixes import MIXED
 
     cfg = config(
-        n_clients=n_clients, duration_ms=duration_ms, warmup_ms=duration_ms * 0.1
+        n_clients=n_clients,
+        duration_ms=duration_ms,
+        warmup_ms=duration_ms * 0.1,
+        series_interval_ms=5.0,
     )
     result = run_simulation(
         make_tardis(branching=True),

@@ -28,6 +28,7 @@ from repro.core.state_dag import State, StateDAG
 from repro.core.transaction import OpTrace
 from repro.core.versions import VersionedRecordStore
 from repro.obs import metrics as _met
+from repro.obs.context import TraceContext
 from repro.storage.wal import WriteAheadLog
 
 #: commit origins
@@ -63,7 +64,20 @@ class CommitPipeline:
     asynchronous mode).
     """
 
-    __slots__ = ("dag", "versions", "wal", "log_values", "group_commit", "_unflushed")
+    __slots__ = (
+        "dag",
+        "versions",
+        "wal",
+        "log_values",
+        "group_commit",
+        "_unflushed",
+        "tracer",
+        "last_ctx",
+        "_hot_registry",
+        "_hot_commit",
+        "_hot_write_keys",
+        "_hot_remote_apply",
+    )
 
     def __init__(
         self,
@@ -79,6 +93,20 @@ class CommitPipeline:
         self.log_values = log_values
         self.group_commit = int(group_commit)
         self._unflushed = 0
+        #: per-store tracer (set via TardisStore.set_tracer); None means
+        #: trace contexts are not generated and last_ctx stays None.
+        self.tracer = None
+        #: TraceContext of the most recent commit, for the store to stamp
+        #: onto its trace events and hand to commit listeners. Read under
+        #: the store lock, immediately after commit() returns.
+        self.last_ctx: Optional[TraceContext] = None
+        #: per-commit metric handles, re-resolved when the default
+        #: registry changes identity (benchmark harnesses swap it per
+        #: run) — the name lookup is measurable at commit rates.
+        self._hot_registry = None
+        self._hot_commit = None
+        self._hot_write_keys = None
+        self._hot_remote_apply = None
 
     def commit(
         self,
@@ -89,12 +117,14 @@ class CommitPipeline:
         state_id: Optional[StateId] = None,
         origin: str = LOCAL,
         trace: Optional[OpTrace] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> State:
         """Install one committed transaction and return its new state.
 
         ``state_id`` is given only for ``REMOTE`` commits (the state
-        keeps its origin-site id, §6.4). The caller holds the store lock
-        and has already settled all constraint questions.
+        keeps its origin-site id, §6.4), and ``ctx`` is the trace
+        context that arrived with a remote transaction. The caller holds
+        the store lock and has already settled all constraint questions.
         """
         state = self.dag.create_state(
             parents,
@@ -102,6 +132,17 @@ class CommitPipeline:
             write_keys=frozenset(write_keys if write_keys is not None else writes),
             state_id=state_id,
         )
+        tracer = self.tracer
+        if ctx is None and tracer is not None and tracer.enabled:
+            # LOCAL/MERGE commits originate a new trace here; REMOTE
+            # commits whose message lost its context get one derived
+            # from the origin-site state id they carry.
+            # state.id.site is the originating site even for REMOTE
+            # states, which keep their origin-site ids.
+            ctx = TraceContext.for_commit(
+                state.id, [p.id for p in parents], state.id.site
+            )
+        self.last_ctx = ctx
         for key, value in writes.items():
             self.versions.write(key, state.id, value)
         if trace is not None:
@@ -139,11 +180,16 @@ class CommitPipeline:
         m = _met.DEFAULT
         if not m.enabled:
             return
+        if self._hot_registry is not m:
+            self._hot_registry = m
+            self._hot_commit = m.counter("tardis_txn_commit_total")
+            self._hot_write_keys = m.histogram("tardis_txn_write_keys")
+            self._hot_remote_apply = m.counter("tardis_repl_remote_apply_total")
         if origin == REMOTE:
-            m.inc("tardis_repl_remote_apply_total")
+            self._hot_remote_apply.inc()
             return
-        m.inc("tardis_txn_commit_total")
-        m.observe("tardis_txn_write_keys", len(writes))
+        self._hot_commit.inc()
+        self._hot_write_keys.record(len(writes))
         if origin == MERGE:
             m.inc("tardis_branch_merge_total")
             m.observe("tardis_merge_parents", len(parents))

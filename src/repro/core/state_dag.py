@@ -149,6 +149,11 @@ class StateDAG:
         self._promotions: Dict[StateId, StateId] = {}
         #: count of retroactive fork-path pushes (exposed for benchmarks).
         self.retro_updates = 0
+        #: cached splice counter — splice_out runs once per collected
+        #: state (roughly once per commit at steady state), so the
+        #: per-call registry name lookup is measurable.
+        self._hot_registry = None
+        self._hot_splice = None
 
     # -- basic queries ----------------------------------------------------
 
@@ -401,10 +406,18 @@ class StateDAG:
         self._promotions[state.id] = child.id
         m = _met.DEFAULT
         if m.enabled:
-            m.inc("tardis_dag_splice_total")
+            if self._hot_registry is not m:
+                self._hot_registry = m
+                self._hot_splice = m.counter("tardis_dag_splice_total")
+            self._hot_splice.inc()
         t = _trc.DEFAULT
         if t.enabled:
-            t.event("gc.promotion", state=state.id, promoted_to=child.id, site=self.site)
+            t.event(
+                "gc.promotion",
+                state=repr(state.id),
+                promoted_to=repr(child.id),
+                site=self.site,
+            )
         return child
 
     def retire_forks(self, dead_fork_ids: Set[StateId]) -> int:

@@ -155,6 +155,32 @@ class TardisStore:
         self.gc = GarbageCollector(self)
         #: listeners notified of each local commit (the replicator hooks in).
         self._commit_listeners: List = []
+        #: per-store tracer; None falls back to the module default, so a
+        #: cluster can give each site its own ring buffer while
+        #: single-store code keeps using ``obs.tracing.DEFAULT``.
+        self.tracer = None
+        #: per-transaction metric handles, re-resolved when the default
+        #: registry changes identity (benchmark harnesses swap it per
+        #: run) — the per-call name lookup is measurable at txn rates.
+        self._hot_registry = None
+
+    def _hot_metrics(self, m) -> None:
+        """Resolve the hot-path metric handles against registry ``m``."""
+        self._hot_registry = m
+        self._hot_begin = m.counter("tardis_txn_begin_total")
+        self._hot_begin_visits = m.histogram("tardis_begin_visits")
+        self._hot_commit_readonly = m.counter("tardis_txn_commit_readonly_total")
+        self._hot_abort = m.counter("tardis_txn_abort_total")
+        self._hot_ripple = m.histogram("tardis_commit_ripple_steps")
+        self._hot_fork = m.counter("tardis_branch_fork_total")
+
+    def set_tracer(self, tracer) -> None:
+        """Give this store (and its commit pipeline) a dedicated tracer."""
+        self.tracer = tracer
+        self.pipeline.tracer = tracer
+
+    def _tracer(self):
+        return self.tracer if self.tracer is not None else _trc.DEFAULT
 
     # -- sessions -----------------------------------------------------------
 
@@ -216,8 +242,10 @@ class TardisStore:
             state.pins += 1
         m = _met.DEFAULT
         if m.enabled:
-            m.inc("tardis_txn_begin_total")
-            m.observe("tardis_begin_visits", visits[0])
+            if self._hot_registry is not m:
+                self._hot_metrics(m)
+            self._hot_begin.inc()
+            self._hot_begin_visits.record(visits[0])
         return txn
 
     def begin_merge(
@@ -263,7 +291,9 @@ class TardisStore:
         if status == ABORTED:
             m = _met.DEFAULT
             if m.enabled:
-                m.inc("tardis_txn_abort_total")
+                if self._hot_registry is not m:
+                    self._hot_metrics(m)
+                self._hot_abort.inc()
 
     # -- reads (called by transactions) ------------------------------------------
 
@@ -319,7 +349,9 @@ class TardisStore:
                 self._finish(txn, COMMITTED)
                 m = _met.DEFAULT
                 if m.enabled:
-                    m.inc("tardis_txn_commit_readonly_total")
+                    if self._hot_registry is not m:
+                        self._hot_metrics(m)
+                    self._hot_commit_readonly.inc()
                 return txn.commit_id
             if not constraint.can_end:
                 self._finish(txn, ABORTED)
@@ -343,7 +375,7 @@ class TardisStore:
             if not constraint.allows_commit_at(current, txn):
                 self._finish(txn, ABORTED)
                 self.metrics.aborts += 1
-                t = _trc.DEFAULT
+                t = self._tracer()
                 if t.enabled:
                     t.event("txn.abort", reason="end-constraint", site=self.site)
                 raise TransactionAborted(
@@ -358,6 +390,9 @@ class TardisStore:
                 trace=txn.trace,
             )
             txn.trace.created_fork = created_fork
+            # Captured inside the lock: last_ctx is per-pipeline mutable
+            # state and the next commit overwrites it.
+            ctx = self.pipeline.last_ctx
             self.metrics.commits += 1
             if created_fork:
                 self.metrics.forks += 1
@@ -366,22 +401,59 @@ class TardisStore:
             self._finish(txn, COMMITTED)
             m = _met.DEFAULT
             if m.enabled:
-                m.observe("tardis_commit_ripple_steps", txn.trace.ripple_steps)
+                if self._hot_registry is not m:
+                    self._hot_metrics(m)
+                self._hot_ripple.record(txn.trace.ripple_steps)
                 if created_fork:
-                    m.inc("tardis_branch_fork_total")
-            t = _trc.DEFAULT
+                    self._hot_fork.inc()
+            t = self._tracer()
             if t.enabled:
-                t.event(
-                    "txn.commit",
-                    state=state.id,
-                    writes=len(txn.writes),
-                    ripple=txn.trace.ripple_steps,
-                    fork=created_fork,
-                    site=self.site,
-                )
+                # Events carry state *ids as strings* (== trace ids), so
+                # the ring buffer holds only atomic values and stays
+                # invisible to the cyclic GC — resident StateId tuples
+                # were the dominant tracing cost. With a ctx the string
+                # is already computed (ctx.trace IS repr(state.id));
+                # branched rather than building a **stamp dict because
+                # this fires once per traced commit.
+                if ctx is not None:
+                    t.event(
+                        "txn.commit",
+                        state=ctx.trace,
+                        writes=len(txn.writes),
+                        ripple=txn.trace.ripple_steps,
+                        fork=created_fork,
+                        site=self.site,
+                        trace=ctx.trace,
+                        parent=ctx.parent,
+                    )
+                else:
+                    t.event(
+                        "txn.commit",
+                        state=repr(state.id),
+                        writes=len(txn.writes),
+                        ripple=txn.trace.ripple_steps,
+                        fork=created_fork,
+                        site=self.site,
+                    )
                 if created_fork:
-                    t.event("branch.fork", state=state.id, parent=current.id, site=self.site)
-        self._notify_commit(state, txn.writes)
+                    # fork already names its DAG parent; only the trace
+                    # id is stamped on top.
+                    if ctx is not None:
+                        t.event(
+                            "branch.fork",
+                            state=ctx.trace,
+                            parent=repr(current.id),
+                            site=self.site,
+                            trace=ctx.trace,
+                        )
+                    else:
+                        t.event(
+                            "branch.fork",
+                            state=repr(state.id),
+                            parent=repr(current.id),
+                            site=self.site,
+                        )
+        self._notify_commit(state, txn.writes, ctx)
         return state.id
 
     def _commit_merge(self, txn: MergeTransaction, end_constraint: Optional[Constraint]) -> StateId:
@@ -392,7 +464,7 @@ class TardisStore:
                     if not constraint.allows_commit_at(parent, txn):
                         self._finish(txn, ABORTED)
                         self.metrics.aborts += 1
-                        t = _trc.DEFAULT
+                        t = self._tracer()
                         if t.enabled:
                             t.event(
                                 "txn.abort", reason="merge-end-constraint", site=self.site
@@ -408,32 +480,42 @@ class TardisStore:
                 origin=MERGE,
                 trace=txn.trace,
             )
+            ctx = self.pipeline.last_ctx
             self.metrics.commits += 1
             self.metrics.merges += 1
             txn.commit_id = state.id
             txn.session.last_commit_id = state.id
             self._finish(txn, COMMITTED)
-            t = _trc.DEFAULT
+            t = self._tracer()
             if t.enabled:
                 t.event(
                     "branch.merge",
-                    state=state.id,
-                    parents=[p.id for p in txn.read_states],
+                    state=ctx.trace if ctx is not None else repr(state.id),
+                    parents=tuple(repr(p.id) for p in txn.read_states),
                     writes=len(txn.writes),
                     site=self.site,
+                    **(
+                        {"trace": ctx.trace, "parent": ctx.parent}
+                        if ctx is not None
+                        else {}
+                    )
                 )
-        self._notify_commit(state, txn.writes)
+        self._notify_commit(state, txn.writes, ctx)
         return state.id
 
     # -- replication hooks (§6.4) -----------------------------------------------
 
     def add_commit_listener(self, listener) -> None:
-        """``listener(state, writes)`` is called after each local commit."""
+        """``listener(state, writes, ctx)`` is called after each local commit.
+
+        ``ctx`` is the commit's :class:`~repro.obs.context.TraceContext`
+        (None unless a tracer is installed via :meth:`set_tracer`).
+        """
         self._commit_listeners.append(listener)
 
-    def _notify_commit(self, state: State, writes: Dict[Any, Any]) -> None:
+    def _notify_commit(self, state: State, writes: Dict[Any, Any], ctx=None) -> None:
         for listener in self._commit_listeners:
-            listener(state, writes)
+            listener(state, writes, ctx)
 
     def apply_remote(
         self,
@@ -442,6 +524,7 @@ class TardisStore:
         writes: Dict[Any, Any],
         read_keys: Iterable[Any] = (),
         write_keys: Optional[Iterable[Any]] = None,
+        ctx=None,
     ) -> Optional[StateId]:
         """Apply a replicated transaction at its designated state (§6.4).
 
@@ -484,6 +567,7 @@ class TardisStore:
                 write_keys=write_keys,
                 state_id=state_id,
                 origin=REMOTE,
+                ctx=ctx,
             )
             self.metrics.remote_applied += 1
         return state.id

@@ -16,12 +16,27 @@ Quick start::
 """
 
 from repro.obs import metrics, tracing
+from repro.obs.context import (
+    TraceContext,
+    causal_timeline,
+    format_timeline,
+    merge_events,
+    trace_id_of,
+)
 from repro.obs.export import (
     diff,
     histogram_from_snapshot,
     snapshot,
     to_json,
     to_prometheus,
+)
+from repro.obs.flight import FlightRecorder, dag_snapshot, format_flight
+from repro.obs.series import (
+    DivergenceMonitor,
+    Trigger,
+    WindowedCounter,
+    WindowedGauge,
+    dag_extent,
 )
 from repro.obs.metrics import (
     Counter,
@@ -50,23 +65,36 @@ def enable(on: bool = True) -> None:
 
 __all__ = [
     "Counter",
+    "DivergenceMonitor",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "TraceContext",
     "TraceEvent",
     "Tracer",
+    "Trigger",
+    "WindowedCounter",
+    "WindowedGauge",
+    "causal_timeline",
+    "dag_extent",
+    "dag_snapshot",
     "default_registry",
     "default_tracer",
     "diff",
     "enable",
+    "format_flight",
+    "format_timeline",
     "histogram_from_snapshot",
+    "merge_events",
     "metrics",
     "set_default_registry",
     "set_default_tracer",
     "snapshot",
     "to_json",
     "to_prometheus",
+    "trace_id_of",
     "tracing",
     "use_registry",
     "use_tracer",

@@ -1,0 +1,244 @@
+"""The branch-divergence flight recorder.
+
+A flight recorder answers "what was the system doing when it went
+wrong?" without anyone watching: when a :class:`~repro.obs.series.Trigger`
+on the :class:`~repro.obs.series.DivergenceMonitor` trips (e.g. branch
+count above K for W simulated ms), the recorder freezes
+
+* the newest N trace events from every site's ring buffer (merged,
+  causally ordered, with per-site drop counts so truncation is visible),
+* the tails of every divergence series (the quantitative run-up), and
+* a structural snapshot of each site's State DAG at the moment of the
+  trip (states, parents, leaves, marks, promotion-table size),
+
+into one JSON document. ``python -m repro.tools.cli flight <dump.json>``
+pretty-prints it (:func:`format_flight`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.obs.context import merge_events
+from repro.obs.series import DivergenceMonitor, Trigger
+from repro.obs.tracing import Tracer
+
+__all__ = ["FlightRecorder", "dag_snapshot", "format_flight"]
+
+#: schema version of flight-recorder dump documents.
+FLIGHT_SCHEMA_VERSION = 1
+
+
+def dag_snapshot(store) -> Dict[str, Any]:
+    """A JSON-safe structural snapshot of one store's State DAG."""
+    states = []
+    for state in sorted(store.dag.states(), key=lambda s: s.id):
+        states.append(
+            {
+                "id": repr(state.id),
+                "parents": [repr(p.id) for p in state.parents],
+                "children": len(state.children),
+                "leaf": state.is_leaf,
+                "merge": state.is_merge,
+                "marked": state.marked,
+                "write_keys": len(state.write_keys),
+            }
+        )
+    return {
+        "site": store.site,
+        "states": states,
+        "leaves": [repr(s.id) for s in store.dag.leaves()],
+        "promotion_table": store.dag.promotion_table_size,
+        "records": store.versions.num_records(),
+    }
+
+
+class FlightRecorder:
+    """Freezes trace + series + DAG state to JSON when a threshold trips.
+
+    ``tracers`` maps site name to that site's :class:`Tracer` (one entry
+    for a single-site store); ``stores`` maps site name to the store
+    whose DAG gets snapshotted. ``arm()`` registers a threshold rule on
+    a monitor; each excursion produces at most one dump (the trigger
+    re-arms when the series falls back below the threshold).
+    """
+
+    def __init__(
+        self,
+        tracers: Dict[str, Tracer],
+        stores: Dict[str, Any],
+        monitor: Optional[DivergenceMonitor] = None,
+        event_limit: int = 200,
+        series_tail: int = 32,
+        out_dir: Optional[str] = None,
+    ):
+        self.tracers = dict(tracers)
+        self.stores = dict(stores)
+        self.monitor = monitor
+        self.event_limit = event_limit
+        self.series_tail = series_tail
+        #: None disables file output (dumps stay in-memory on .dumps).
+        self.out_dir = out_dir
+        self.dumps: List[Dict[str, Any]] = []
+        self.paths: List[str] = []
+
+    # -- arming ---------------------------------------------------------------
+
+    def arm(
+        self,
+        series: str,
+        threshold: float,
+        hold_ms: float,
+        monitor: Optional[DivergenceMonitor] = None,
+    ) -> Trigger:
+        """Dump when ``series`` exceeds ``threshold`` for ``hold_ms``."""
+        monitor = monitor or self.monitor
+        if monitor is None:
+            raise ValueError("no DivergenceMonitor to arm against")
+        self.monitor = monitor
+
+        def action(mon, trigger, now, name, value):
+            self.record(
+                reason="%s=%g > %g for %gms" % (name, value, threshold, hold_ms),
+                tripped_at=now,
+                rule={**trigger.to_dict(), "series_tripped": name, "value": value},
+            )
+
+        return monitor.add_trigger(series, threshold, hold_ms, action)
+
+    # -- recording ------------------------------------------------------------
+
+    def snapshot(
+        self,
+        reason: str,
+        tripped_at: Optional[float] = None,
+        rule: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Build (without persisting) one flight dump document."""
+        events = merge_events(self.tracers)[-self.event_limit :]
+        doc: Dict[str, Any] = {
+            "flight_schema": FLIGHT_SCHEMA_VERSION,
+            "reason": reason,
+            "tripped_at_ms": tripped_at,
+            "rule": rule or {},
+            "events": [
+                {"ts": e.ts, "kind": e.kind, **{k: repr(v) if not isinstance(v, (str, int, float, bool, type(None))) else v for k, v in e.attrs.items()}}
+                for e in events
+            ],
+            "dropped_events": {
+                site: tracer.dropped for site, tracer in sorted(self.tracers.items())
+            },
+            "series": self.monitor.tails(self.series_tail) if self.monitor else {},
+            "dag": {
+                site: dag_snapshot(store)
+                for site, store in sorted(self.stores.items())
+            },
+        }
+        return doc
+
+    def record(
+        self,
+        reason: str,
+        tripped_at: Optional[float] = None,
+        rule: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Snapshot now; persist to ``out_dir`` when configured."""
+        doc = self.snapshot(reason, tripped_at=tripped_at, rule=rule)
+        self.dumps.append(doc)
+        if self.out_dir is not None:
+            name = "flight_%03d.json" % len(self.dumps)
+            path = os.path.join(self.out_dir, name)
+            with open(path, "w") as handle:
+                json.dump(doc, handle, indent=2, default=str, sort_keys=True)
+                handle.write("\n")
+            self.paths.append(path)
+        return doc
+
+    def __repr__(self) -> str:
+        return "<FlightRecorder sites=%d dumps=%d>" % (
+            len(self.tracers),
+            len(self.dumps),
+        )
+
+
+# -- pretty printing ---------------------------------------------------------
+
+
+def format_flight(doc: Dict[str, Any], event_limit: int = 50) -> str:
+    """Render a flight dump for humans (``tardis flight <dump.json>``)."""
+    lines = []
+    lines.append("=" * 72)
+    lines.append(
+        "FLIGHT RECORDER DUMP — %s" % doc.get("reason", "(no reason recorded)")
+    )
+    tripped = doc.get("tripped_at_ms")
+    rule = doc.get("rule") or {}
+    if tripped is not None:
+        lines.append(
+            "tripped at %.3fms  rule: %s > %s held %sms"
+            % (
+                tripped,
+                rule.get("series", "?"),
+                rule.get("threshold", "?"),
+                rule.get("hold_ms", "?"),
+            )
+        )
+    lines.append("=" * 72)
+
+    dropped = doc.get("dropped_events") or {}
+    if any(dropped.values()):
+        lines.append("")
+        lines.append(
+            "!! truncated timelines: %s"
+            % ", ".join(
+                "%s dropped %d" % (site, n) for site, n in sorted(dropped.items()) if n
+            )
+        )
+
+    series = doc.get("series") or {}
+    if series:
+        lines.append("")
+        lines.append("-- series (newest samples) " + "-" * 33)
+        for name, samples in sorted(series.items()):
+            if not samples:
+                continue
+            t, v = samples[-1]
+            values = " ".join("%g" % s[1] for s in samples[-8:])
+            lines.append("  %-32s last=%g @ %.1fms   tail: %s" % (name, v, t, values))
+
+    dags = doc.get("dag") or {}
+    if dags:
+        lines.append("")
+        lines.append("-- state DAGs " + "-" * 46)
+        for site, snap in sorted(dags.items()):
+            lines.append(
+                "  %-6s states=%-4d leaves=%-3d promotions=%-3d records=%d"
+                % (
+                    site,
+                    len(snap.get("states", [])),
+                    len(snap.get("leaves", [])),
+                    snap.get("promotion_table", 0),
+                    snap.get("records", 0),
+                )
+            )
+            for leaf in snap.get("leaves", []):
+                lines.append("    leaf %s" % leaf)
+
+    events = doc.get("events") or []
+    if events:
+        lines.append("")
+        lines.append("-- last %d trace events " % min(len(events), event_limit) + "-" * 36)
+        for event in events[-event_limit:]:
+            attrs = {
+                k: v
+                for k, v in event.items()
+                if k not in ("ts", "kind", "site")
+            }
+            rendered = " ".join("%s=%s" % kv for kv in sorted(attrs.items()))
+            lines.append(
+                "  %10.3fms  %-6s %-14s %s"
+                % (event.get("ts", 0.0), event.get("site", "?"), event["kind"], rendered)
+            )
+    return "\n".join(lines)

@@ -171,7 +171,16 @@ class Histogram:
         return lo, hi
 
     def record(self, value: float) -> None:
-        index = self.bucket_index(value)
+        # bucket_index inlined: record runs several times per transaction
+        # and the classmethod dispatch is measurable at that rate.
+        if value <= 0.0:
+            index = None
+        else:
+            m, e = math.frexp(value)
+            sub = int((m * 2.0 - 1.0) * self.SUBBUCKETS)
+            if sub >= self.SUBBUCKETS:  # m rounded up to 1.0
+                sub = self.SUBBUCKETS - 1
+            index = e * self.SUBBUCKETS + sub
         with self._lock:
             self._count += 1
             self._sum += value
@@ -183,6 +192,33 @@ class Histogram:
                 self._zero += 1
             else:
                 self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def record_many(self, values) -> None:
+        """Fold a batch of samples in under one lock acquisition.
+
+        For producers that already keep their samples elsewhere (the
+        workload runner's latency list), one end-of-run batch costs a
+        single lock and loop instead of a per-transaction ``record``.
+        """
+        subbuckets = self.SUBBUCKETS
+        with self._lock:
+            buckets = self._buckets
+            for value in values:
+                self._count += 1
+                self._sum += value
+                if value < self._min:
+                    self._min = value
+                if value > self._max:
+                    self._max = value
+                if value <= 0.0:
+                    self._zero += 1
+                    continue
+                m, e = math.frexp(value)
+                sub = int((m * 2.0 - 1.0) * subbuckets)
+                if sub >= subbuckets:  # m rounded up to 1.0
+                    sub = subbuckets - 1
+                index = e * subbuckets + sub
+                buckets[index] = buckets.get(index, 0) + 1
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram in (cross-thread / cross-site merge)."""
@@ -349,17 +385,33 @@ class MetricsRegistry:
 
     # -- convenience recorders -------------------------------------------
 
+    # The recorders bypass the typed accessors on a dict hit: these run
+    # once per transaction, and the accessor's extra call frame plus
+    # isinstance check measurably widens the instrumented/uninstrumented
+    # gap. Trade-off: recording under a name registered as a different
+    # kind raises AttributeError here instead of the accessors'
+    # TypeError; creation (the cold path) still type-checks.
+
     def inc(self, name: str, n: int = 1) -> None:
         if self.enabled:
-            self.counter(name).inc(n)
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._get_or_create(Counter, name, "")
+            metric.inc(n)
 
     def observe(self, name: str, value: float) -> None:
         if self.enabled:
-            self.histogram(name).record(value)
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._get_or_create(Histogram, name, "")
+            metric.record(value)
 
     def set_gauge(self, name: str, value: float) -> None:
         if self.enabled:
-            self.gauge(name).set(value)
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._get_or_create(Gauge, name, "")
+            metric.set(value)
 
     # -- aggregation ------------------------------------------------------
 

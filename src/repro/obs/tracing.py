@@ -29,10 +29,15 @@ kind                    attrs
 ``branch.merge``        ``state``, ``parents``, ``writes``
 ``gc.cycle``            ``marked``, ``removed``, ``promoted``, ``dropped``, ``live_states``
 ``gc.promotion``        ``state``, ``promoted_to``
+``repl.send``           ``state``, ``src``
 ``repl.apply``          ``state``, ``src``
 ``repl.cache``          ``state``, ``missing``
 ``repl.fetch``          ``state``, ``peer``
 ``repl.drop``           ``state``
+
+Cross-replica events additionally carry ``trace``/``parent`` (the
+:class:`~repro.obs.context.TraceContext` of the originating commit) and
+``site`` once merged across ring buffers — see :mod:`repro.obs.context`.
 ``spec.confirm``        ``tickets``
 ``spec.misspeculate``   ``tickets``
 ``span``                ``name``, ``ms``, ``depth``, ``parent``
@@ -46,6 +51,8 @@ import time
 from collections import deque
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional
+
+from repro.obs import metrics as _met
 
 __all__ = [
     "TraceEvent",
@@ -129,32 +136,62 @@ class Tracer:
         self._events: deque = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self._local = threading.local()
+        #: events evicted by the ring buffer — a nonzero value means the
+        #: oldest part of any reconstructed timeline is missing.
+        self.dropped = 0
+        #: cached tardis_trace_dropped_total counter (at capacity, every
+        #: append evicts, so the metric lookup must not be per-event).
+        self._drop_registry = None
+        self._drop_counter = None
 
     # -- events ----------------------------------------------------------
+    #
+    # The ring stores raw ``(ts, kind, attrs)`` tuples, not TraceEvent
+    # objects: recording is the hot path (several events per traced
+    # commit) and the wrapper is only needed by readers, so it is
+    # materialized lazily in :meth:`events`. Successive ``events()``
+    # calls therefore return *new* TraceEvent wrappers, but they share
+    # the underlying attrs dicts, so attr mutations (e.g. the site
+    # tagging in ``merge_events``) stick across calls.
+
+    def _record(self, ts: float, kind: str, attrs: Dict[str, Any]) -> None:
+        with self._lock:
+            evicting = len(self._events) == self.capacity
+            if evicting:
+                self.dropped += 1
+            self._events.append((ts, kind, attrs))
+        if evicting:
+            registry = _met.DEFAULT
+            if registry.enabled:
+                if self._drop_registry is not registry:
+                    self._drop_registry = registry
+                    self._drop_counter = registry.counter(
+                        "tardis_trace_dropped_total"
+                    )
+                self._drop_counter.inc()
 
     def event(self, kind: str, **attrs: Any) -> None:
         """Record a point event; no-op when disabled."""
         if not self.enabled:
             return
-        entry = TraceEvent(self._clock(), kind, attrs)
-        with self._lock:
-            self._events.append(entry)
+        self._record(self._clock(), kind, attrs)
 
     def events(
         self, kind: Optional[str] = None, limit: Optional[int] = None
     ) -> List[TraceEvent]:
         """Newest-last view of the buffer, optionally filtered by kind."""
         with self._lock:
-            out = list(self._events)
+            raw = list(self._events)
         if kind is not None:
-            out = [e for e in out if e.kind == kind]
+            raw = [entry for entry in raw if entry[1] == kind]
         if limit is not None:
-            out = out[-limit:] if limit > 0 else []
-        return out
+            raw = raw[-limit:] if limit > 0 else []
+        return [TraceEvent(ts, k, attrs) for ts, k, attrs in raw]
 
     def clear(self) -> None:
         with self._lock:
             self._events.clear()
+            self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._events)
@@ -193,9 +230,7 @@ class Tracer:
                 "parent": span.parent,
             }
             entry_attrs.update(span.attrs)
-            entry = TraceEvent(span.end, "span", entry_attrs)
-            with self._lock:
-                self._events.append(entry)
+            self._record(span.end, "span", entry_attrs)
 
     def to_list(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
         return [e.to_dict() for e in self.events(limit=limit)]

@@ -16,6 +16,9 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.core.ids import ROOT_ID
 from repro.core.store import TardisStore
 from repro.obs import metrics as _met
+from repro.obs import tracing as _trc
+from repro.obs.context import causal_timeline, merge_events
+from repro.obs.series import DivergenceMonitor
 from repro.replication.network import SimNetwork
 from repro.replication.replicator import Replicator
 from repro.sim.adapters import TardisAdapter
@@ -52,6 +55,8 @@ class Cluster:
         gc_mode: str = OPTIMISTIC,
         store_kwargs: Optional[dict] = None,
         engine: Any = None,
+        trace: bool = False,
+        trace_capacity: int = 4096,
     ):
         if sites is None:
             sites = SITE_NAMES[:n_sites]
@@ -65,8 +70,18 @@ class Cluster:
                 self.network.set_latency(pair[0], pair[1], lat)
         self.stores: Dict[str, TardisStore] = {}
         self.replicators: Dict[str, Replicator] = {}
+        #: per-site ring buffers on the simulated clock (trace=True).
+        self.tracers: Dict[str, _trc.Tracer] = {}
         for site in sites:
             store = TardisStore(site, **store_kwargs)
+            if trace:
+                tracer = _trc.Tracer(
+                    capacity=trace_capacity,
+                    enabled=True,
+                    clock=lambda: self.sim.now,
+                )
+                store.set_tracer(tracer)
+                self.tracers[site] = tracer
             self.stores[site] = store
             self.replicators[site] = Replicator(store, self.network)
         self.gc_mode = gc_mode
@@ -119,6 +134,30 @@ class Cluster:
 
     def state_counts(self) -> Dict[str, int]:
         return {site: len(store.dag) for site, store in self.stores.items()}
+
+    # -- cross-replica tracing ------------------------------------------------
+
+    def events(self, kind: Optional[str] = None):
+        """All sites' trace events merged into one time-ordered stream."""
+        return merge_events(self.tracers, kind=kind)
+
+    def timeline(self, trace_id: str):
+        """One transaction's causally ordered multi-site timeline.
+
+        ``trace_id`` is the repr of the transaction's state id (e.g.
+        ``"s14@us"``); requires the cluster to have been built with
+        ``trace=True``.
+        """
+        return causal_timeline(self.events(), str(trace_id))
+
+    def monitor(self, capacity: int = 512, network: Any = None) -> DivergenceMonitor:
+        """A divergence monitor over every site (sample via DES ticks)."""
+        return DivergenceMonitor(
+            dict(self.stores),
+            clock=lambda: self.sim.now,
+            network=network if network is not None else self.network,
+            capacity=capacity,
+        )
 
 
 @dataclass
@@ -184,6 +223,10 @@ def run_replicated_workload(
     registry = (
         _met.MetricsRegistry(enabled=True) if config.collect_metrics else None
     )
+    monitor = None
+    if config.series_interval_ms:
+        monitor = cluster.monitor()
+        monitor.install(sim, config.series_interval_ms)
 
     # One cluster-wide registry: every site's stores and replicators
     # record into it while the run executes (single simulator thread).
@@ -266,10 +309,13 @@ def run_replicated_workload(
                 adapter_stats=adapter.stats(),
             )
         )
+    obs_metrics = registry.to_dict() if registry is not None else {}
+    if monitor is not None:
+        obs_metrics.update(monitor.to_dict())
     return ReplicatedRunResult(
         n_sites=n_sites,
         per_site=per_site,
         aggregate_tps=sum(r.throughput_tps for r in per_site),
         messages=cluster.network.messages_sent,
-        obs_metrics=registry.to_dict() if registry is not None else {},
+        obs_metrics=obs_metrics,
     )

@@ -5,6 +5,14 @@ the shared discrete-event simulator. Partitions buffer messages; healing
 flushes them. This stands in for the paper's Netty transport and the
 Google Cloud three-zone deployment of §7.1.6 — what matters for the
 experiments is asynchrony and latency, both of which are preserved.
+
+Transport behaviour is observable two ways: plain instance counters
+(``messages_sent`` etc., always on, used by the cluster harness) and the
+mirrored ``tardis_net_*`` metrics in the default registry (when it is
+enabled), so replication benchmarks report the transport alongside the
+store. The counters reconcile at any instant::
+
+    sent == delivered + in_flight + buffered + dropped
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Tuple
 
 from repro.errors import UnknownSiteError
+from repro.obs import metrics as _met
 from repro.sim.des import Simulator
 
 
@@ -27,6 +36,14 @@ class SimNetwork:
         self._buffered: Dict[Tuple[str, str], List[Any]] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
+        #: messages parked behind a partition over the network's lifetime.
+        self.messages_buffered = 0
+        #: buffered messages re-scheduled by a heal.
+        self.buffered_flushed = 0
+        #: buffered messages discarded via :meth:`drop_buffered`.
+        self.buffered_dropped = 0
+        #: messages scheduled but not yet delivered.
+        self._in_flight = 0
 
     def connect(self, site: str, handler: Callable[[str, Any], None]) -> None:
         """Register ``handler(src, message)`` as ``site``'s inbox."""
@@ -51,10 +68,31 @@ class SimNetwork:
 
     def heal(self, a: str, b: str) -> None:
         """Restore the link and flush buffered messages, in send order."""
+        m = _met.DEFAULT
         for pair in ((a, b), (b, a)):
             self._partitioned.discard(pair)
-            for message in self._buffered.pop(pair, []):
+            flushed = self._buffered.pop(pair, [])
+            self.buffered_flushed += len(flushed)
+            if m.enabled and flushed:
+                m.inc("tardis_net_buffered_flushed_total", len(flushed))
+            for message in flushed:
                 self._schedule(pair[0], pair[1], message)
+
+    def drop_buffered(self, a: str, b: str) -> int:
+        """Discard messages buffered behind the ``a``/``b`` partition.
+
+        Models a link whose outage outlived its buffers (lost gossip);
+        returns the number of messages dropped.
+        """
+        dropped = 0
+        for pair in ((a, b), (b, a)):
+            dropped += len(self._buffered.pop(pair, []))
+        self.buffered_dropped += dropped
+        if dropped:
+            m = _met.DEFAULT
+            if m.enabled:
+                m.inc("tardis_net_buffered_dropped_total", dropped)
+        return dropped
 
     def is_partitioned(self, a: str, b: str) -> bool:
         return (a, b) in self._partitioned
@@ -65,8 +103,14 @@ class SimNetwork:
         if dst not in self._handlers:
             raise UnknownSiteError("no site %r" % dst)
         self.messages_sent += 1
+        m = _met.DEFAULT
+        if m.enabled:
+            m.inc("tardis_net_messages_sent_total")
         if (src, dst) in self._partitioned:
             self._buffered.setdefault((src, dst), []).append(message)
+            self.messages_buffered += 1
+            if m.enabled:
+                m.inc("tardis_net_buffered_total")
             return
         self._schedule(src, dst, message)
 
@@ -76,8 +120,34 @@ class SimNetwork:
                 self.send(src, dst, message)
 
     def _schedule(self, src: str, dst: str, message: Any) -> None:
+        self._in_flight += 1
+
         def deliver() -> None:
+            self._in_flight -= 1
             self.messages_delivered += 1
+            m = _met.DEFAULT
+            if m.enabled:
+                m.inc("tardis_net_messages_delivered_total")
             self._handlers[dst](src, message)
 
         self._sim.schedule(self.latency(src, dst), deliver)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Messages scheduled on the simulator but not yet delivered."""
+        return self._in_flight
+
+    @property
+    def buffered_count(self) -> int:
+        """Messages currently parked behind partitions."""
+        return sum(len(msgs) for msgs in self._buffered.values())
+
+    def __repr__(self) -> str:
+        return "<SimNetwork sites=%d sent=%d delivered=%d buffered=%d>" % (
+            len(self._handlers),
+            self.messages_sent,
+            self.messages_delivered,
+            self.buffered_count,
+        )

@@ -21,6 +21,7 @@ from repro.core.store import TardisStore
 from repro.errors import GarbageCollectedError
 from repro.obs import metrics as _met
 from repro.obs import tracing as _trc
+from repro.obs.context import TraceContext
 from repro.replication.network import SimNetwork
 
 
@@ -32,11 +33,16 @@ class TxnMessage:
     parent_ids: Tuple[StateId, ...]
     writes: Dict[Any, Any]
     write_keys: Tuple[Any, ...] = ()
+    #: trace context of the originating commit (None when tracing is off).
+    ctx: Optional[TraceContext] = None
 
 
 @dataclass
 class FetchRequest:
     state_id: StateId
+    #: context of the transaction that *triggered* the fetch — fetch
+    #: traffic is attributed to it, not to the fetched state.
+    ctx: Optional[TraceContext] = None
 
 
 @dataclass
@@ -46,6 +52,12 @@ class FetchResponse:
     message: Optional[TxnMessage] = None
     #: ...or the id it was promoted to when compressed away.
     promoted_to: Optional[StateId] = None
+    ctx: Optional[TraceContext] = None
+
+
+def _stamp(ctx: Optional[TraceContext]) -> Dict[str, Any]:
+    """Event attrs carrying a context's causal identity, if any."""
+    return {"trace": ctx.trace, "parent": ctx.parent} if ctx is not None else {}
 
 
 class Replicator:
@@ -74,16 +86,32 @@ class Replicator:
 
     # -- outbound -----------------------------------------------------------
 
-    def _on_local_commit(self, state, writes: Dict[Any, Any]) -> None:
+    def _tracer(self):
+        tracer = self.store.tracer
+        return tracer if tracer is not None else _trc.DEFAULT
+
+    def _on_local_commit(self, state, writes: Dict[Any, Any], ctx=None) -> None:
         message = TxnMessage(
             state_id=state.id,
             parent_ids=tuple(p.id for p in state.parents),
             writes=dict(writes),
             write_keys=tuple(state.write_keys),
+            ctx=ctx,
         )
         m = _met.DEFAULT
         if m.enabled:
             m.inc("tardis_repl_send_total")
+        t = self._tracer()
+        if t.enabled:
+            # state ids travel as strings (trace ids) so ring entries stay
+            # atomic and GC-invisible; ctx.trace is that string already.
+            t.event(
+                "repl.send",
+                state=ctx.trace if ctx is not None else repr(state.id),
+                src=self.site,
+                site=self.site,
+                **_stamp(ctx)
+            )
         self.network.broadcast(self.site, message)
 
     # -- inbound -------------------------------------------------------------
@@ -100,7 +128,7 @@ class Replicator:
 
     def _apply_or_cache(self, src: str, message: TxnMessage) -> None:
         m = _met.DEFAULT
-        t = _trc.DEFAULT
+        t = self._tracer()
         missing = [pid for pid in message.parent_ids if pid not in self.store.dag]
         if missing:
             self.cached += 1
@@ -115,11 +143,13 @@ class Replicator:
             if t.enabled:
                 t.event(
                     "repl.cache",
-                    state=message.state_id,
-                    missing=missing[0],
+                    state=repr(message.state_id),
+                    missing=repr(missing[0]),
                     site=self.site,
+                    **_stamp(message.ctx)
                 )
-            self.network.send(self.site, src, FetchRequest(missing[0]))
+            # The fetch is attributed to the transaction waiting on it.
+            self.network.send(self.site, src, FetchRequest(missing[0], ctx=message.ctx))
             return
         try:
             applied = self.store.apply_remote(
@@ -127,6 +157,7 @@ class Replicator:
                 message.parent_ids,
                 message.writes,
                 write_keys=message.write_keys,
+                ctx=message.ctx,
             )
         except GarbageCollectedError:
             # The parent's identity was collected in a way that cannot be
@@ -136,14 +167,32 @@ class Replicator:
             if m.enabled:
                 m.inc("tardis_repl_drop_total")
             if t.enabled:
-                t.event("repl.drop", state=message.state_id, site=self.site)
+                t.event(
+                    "repl.drop",
+                    state=repr(message.state_id),
+                    site=self.site,
+                    **_stamp(message.ctx)
+                )
             return
         if applied is not None:
             self.applied += 1
+            ctx = message.ctx
+            if ctx is None and t.enabled:
+                # Gossip from an untraced site: reconstruct the context
+                # from the state id, which is the trace id (§6.4).
+                ctx = TraceContext.for_commit(
+                    message.state_id, message.parent_ids, message.state_id.site
+                )
             if m.enabled:
                 m.inc("tardis_repl_apply_total")
             if t.enabled:
-                t.event("repl.apply", state=message.state_id, src=src, site=self.site)
+                t.event(
+                    "repl.apply",
+                    state=ctx.trace if ctx is not None else repr(message.state_id),
+                    src=src,
+                    site=self.site,
+                    **_stamp(ctx)
+                )
             if self.apply_listener is not None:
                 self.apply_listener(message)
         self._drain_pending(message.state_id)
@@ -158,26 +207,46 @@ class Replicator:
     # -- state fetch (optimistic GC, §6.4) --------------------------------------
 
     def _answer_fetch(self, src: str, request: FetchRequest) -> None:
+        t = self._tracer()
+        if t.enabled:
+            t.event(
+                "repl.fetch",
+                state=repr(request.state_id),
+                peer=src,
+                site=self.site,
+                **_stamp(request.ctx)
+            )
         state = self.store.dag.get(request.state_id)
         if state is None:
             promoted = self.store.dag.promotion_of(request.state_id)
             self.network.send(
                 self.site,
                 src,
-                FetchResponse(request.state_id, promoted_to=promoted),
+                FetchResponse(request.state_id, promoted_to=promoted, ctx=request.ctx),
             )
             return
         writes = {}
         for key in state.write_keys:
             value = self.store.versions.records.get((key, state.id))
             writes[key] = value
+        fetched_ctx = None
+        if t.enabled:
+            # The re-sent transaction travels under its own identity.
+            fetched_ctx = TraceContext.for_commit(
+                state.id, [p.id for p in state.parents], state.id.site
+            )
         message = TxnMessage(
             state_id=state.id,
             parent_ids=tuple(p.id for p in state.parents),
             writes=writes,
             write_keys=tuple(state.write_keys),
+            ctx=fetched_ctx,
         )
-        self.network.send(self.site, src, FetchResponse(request.state_id, message=message))
+        self.network.send(
+            self.site,
+            src,
+            FetchResponse(request.state_id, message=message, ctx=request.ctx),
+        )
 
     def _absorb_fetch(self, src: str, response: FetchResponse) -> None:
         if response.message is not None:

@@ -33,6 +33,7 @@ from repro.core.ids import ROOT_ID
 from repro.core.store import TardisStore
 from repro.core.transaction import Transaction
 from repro.errors import DeadlockError, TransactionAborted, ValidationError
+from repro.obs.series import dag_extent
 from repro.sim.costs import CostModel
 
 
@@ -287,12 +288,15 @@ class TardisAdapter(SystemAdapter):
         return cost
 
     def stats(self) -> Dict[str, Any]:
+        _width, depth = dag_extent(self.store.dag)
         return {
             "states": len(self.store.dag),
             "records": self.store.versions.num_records(),
             "forks": self.store.metrics.forks,
             "merges": self.merges_run,
             "aborts": self.store.metrics.aborts,
+            "leaves": len(self.store.dag.leaves()),
+            "dag_depth": depth,
         }
 
 

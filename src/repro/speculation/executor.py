@@ -196,7 +196,7 @@ class SpeculativeExecutor:
                 m.inc("tardis_spec_confirm_total", len(pending))
             t = _trc.DEFAULT
             if t.enabled:
-                t.event("spec.confirm", tickets=[s.ticket for s in pending])
+                t.event("spec.confirm", tickets=tuple(s.ticket for s in pending))
             return True
 
         # Misspeculation: abandon the branch, replay in ticket order on
@@ -208,7 +208,7 @@ class SpeculativeExecutor:
             m.inc("tardis_spec_reexec_total", len(pending))
         t = _trc.DEFAULT
         if t.enabled:
-            t.event("spec.misspeculate", tickets=[s.ticket for s in pending])
+            t.event("spec.misspeculate", tickets=tuple(s.ticket for s in pending))
         self._spec_tip = self._confirmed_tip
         for spec in pending:
             spec.executions += 1

@@ -12,6 +12,12 @@ Commands:
   observability subsystem enabled and print branch health (per-branch
   depth, conflict rate, GC debt), the metric registry, and recent trace
   events; ``--json`` / ``--prometheus`` switch the output format.
+* ``trace`` — run a scripted three-site replicated scenario (concurrent
+  commits, replication, merge) and print one transaction's
+  causally-ordered multi-site timeline; ``--dump`` also freezes a
+  flight-recorder dump to JSON.
+* ``flight`` — pretty-print a flight-recorder dump produced by the
+  divergence monitor (or ``trace --dump``).
 """
 
 from __future__ import annotations
@@ -25,6 +31,9 @@ from repro.core.store import TardisStore
 from repro.obs import MetricsRegistry, Tracer, export
 from repro.obs import metrics as _met
 from repro.obs import tracing as _trc
+from repro.obs.context import format_timeline, trace_id_of
+from repro.obs.flight import FlightRecorder, format_flight
+from repro.replication.cluster import Cluster
 from repro.sim.adapters import OCCAdapter, TardisAdapter, TwoPLAdapter
 from repro.storage.engine import available_engines
 from repro.tools.inspect import dag_to_dot, describe_store, store_summary
@@ -203,10 +212,63 @@ def cmd_metrics(args) -> int:
     events = tracer.events(limit=args.events)
     if events:
         print()
-        print("-- recent events " + "-" * 43)
+        print(
+            "-- recent events (ring dropped=%d) " % tracer.dropped + "-" * 25
+        )
         for event in events:
             attrs = " ".join("%s=%s" % kv for kv in sorted(event.attrs.items()))
             print("  %10.4f %-18s %s" % (event.ts, event.kind, attrs))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Scripted replicated scenario + one transaction's causal timeline.
+
+    Two sites commit to the same key concurrently (before any gossip
+    lands), replication forks every site's DAG, and a third site merges —
+    so the printed timeline reads commit → replicate → apply → merge.
+    """
+    cluster = Cluster(n_sites=3, trace=True)
+    us, eu, asia = (cluster.stores[s] for s in ("us", "eu", "asia"))
+
+    sid_us = us.put(args.key, "from-us")
+    sid_eu = eu.put(args.key, "from-eu")  # concurrent: no gossip yet
+    cluster.run(until=300.0)  # both commits replicate; every DAG forks
+
+    merge = asia.begin_merge()
+    for key in merge.find_conflict_writes():
+        merge.put(key, "+".join(sorted(str(v) for v in merge.get_all(key))))
+    merge.commit()
+    cluster.run(until=600.0)  # the merge replicates back out
+
+    trace_id = args.txn or trace_id_of(sid_us)
+    timeline = cluster.timeline(trace_id)
+    if not timeline:
+        known = ", ".join(
+            sorted({str(e.attrs.get("trace")) for e in cluster.events() if e.attrs.get("trace")})
+        )
+        print("no events for trace %r; known traces: %s" % (trace_id, known))
+        return 1
+    print(format_timeline(timeline, trace_id))
+
+    if args.dump:
+        recorder = FlightRecorder(
+            cluster.tracers, cluster.stores, monitor=cluster.monitor()
+        )
+        recorder.monitor.sample()
+        doc = recorder.snapshot(reason="manual dump (tardis trace --dump)")
+        with open(args.dump, "w") as handle:
+            json.dump(doc, handle, indent=2, default=str, sort_keys=True)
+            handle.write("\n")
+        print()
+        print("flight dump written to %s" % args.dump)
+    return 0
+
+
+def cmd_flight(args) -> int:
+    with open(args.dump) as handle:
+        doc = json.load(handle)
+    print(format_flight(doc, event_limit=args.events))
     return 0
 
 
@@ -254,6 +316,25 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--json", action="store_true", help="dump registry + events as JSON")
     metrics.add_argument("--prometheus", action="store_true", help="Prometheus text format")
     metrics.set_defaults(func=cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace", help="replicated scenario + one transaction's causal timeline"
+    )
+    trace.add_argument(
+        "--txn",
+        default=None,
+        help="trace id (state id repr, e.g. s1@us); default: the first us commit",
+    )
+    trace.add_argument("--key", default="counter", help="contended key")
+    trace.add_argument(
+        "--dump", default=None, help="also write a flight-recorder dump here"
+    )
+    trace.set_defaults(func=cmd_trace)
+
+    flight = sub.add_parser("flight", help="pretty-print a flight-recorder dump")
+    flight.add_argument("dump", help="path to a flight dump JSON")
+    flight.add_argument("--events", type=int, default=50, help="trace events to show")
+    flight.set_defaults(func=cmd_flight)
     return parser
 
 

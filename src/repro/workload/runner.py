@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs import metrics as _met
+from repro.obs.series import DivergenceMonitor
 from repro.sim.adapters import SystemAdapter
 from repro.sim.des import Resource, Simulator
 from repro.workload.stats import LatencyStats, OpBreakdown
@@ -33,6 +34,10 @@ class RunConfig:
     maintenance_interval_ms: Optional[float] = None
     #: record a time-series sample this often (Figure 13).
     sample_interval_ms: Optional[float] = None
+    #: sample the DivergenceMonitor's windowed series (branch count, DAG
+    #: width/depth, merge debt, replication lag) this often; folded into
+    #: ``obs_metrics`` as ``{"type": "series", ...}`` entries.
+    series_interval_ms: Optional[float] = None
     #: attach a per-run observability registry (folded into
     #: ``RunResult.obs_metrics``); the run installs it as the library
     #: default so store-level counters land in it too.
@@ -86,6 +91,16 @@ class _Measure:
         self.warmup = warmup
         #: per-run observability registry (None when metrics are off).
         self.registry = registry
+        #: registry-side run_* metrics are pre-registered (so they are
+        #: present in obs_metrics even for an idle run) but only written
+        #: by :meth:`flush` — per-transaction they would duplicate the
+        #: native counters below at a measurable wall cost.
+        if registry is not None:
+            self.commit_counter = registry.counter("run_commit_total")
+            self.abort_counter = registry.counter("run_abort_total")
+            self.latency_hist = registry.histogram("run_txn_latency_ms")
+        else:
+            self.commit_counter = self.abort_counter = self.latency_hist = None
         self.commits = 0
         self.aborts = 0
         self.lock_waits = 0
@@ -96,6 +111,14 @@ class _Measure:
         self.wait_time = 0.0
         self.maintenance_work = 0.0
         self.commits_total = 0  # including warmup, for time series
+
+    def flush(self) -> None:
+        """Mirror the natively tracked run counters into the registry."""
+        if self.registry is None:
+            return
+        self.commit_counter.inc(self.commits)
+        self.abort_counter.inc(self.aborts)
+        self.latency_hist.record_many(self.latency.samples)
 
 
 class _Client:
@@ -260,8 +283,11 @@ class _Client:
                 self.sim.schedule(0.0, client.wake)
 
     def _finish_attempt(self) -> None:
+        # Registry-side run_* metrics are NOT recorded here: they are
+        # exact duplicates of what _Measure already tracks natively, so
+        # the runner flushes them once at end of run (_Measure.flush)
+        # instead of paying a per-transaction counter/histogram call.
         measuring = self.sim.now >= self.m.warmup
-        reg = self.m.registry
         if self.outcome == "ok":
             self.m.commits_total += 1
             if measuring:
@@ -270,20 +296,12 @@ class _Client:
                 self.m.latency.record(latency)
                 self.m.breakdown.merge_costs(self.attempt_costs, self.attempt_counts)
                 self.m.useful_work += self.attempt_work
-                if reg is not None and reg.enabled:
-                    reg.inc("run_commit_total")
-                    reg.observe("run_txn_latency_ms", latency)
-                    # Per-op means are already aggregated (for free) by
-                    # OpBreakdown above; recording per-op histograms here
-                    # roughly doubled the whole subsystem's wall cost.
             self.adapter_commit_hook()
             self._next_txn()
         else:
             if measuring:
                 self.m.aborts += 1
                 self.m.wasted_work += self.attempt_work
-                if reg is not None and reg.enabled:
-                    reg.inc("run_abort_total")
             self._start_attempt()  # retry the same transaction
 
     def adapter_commit_hook(self) -> None:
@@ -355,11 +373,20 @@ def run_simulation(
 
             sim.schedule(config.sample_interval_ms, take_sample)
 
+        monitor = None
+        store = getattr(adapter, "store", None)
+        if config.series_interval_ms and store is not None:
+            monitor = DivergenceMonitor(
+                {store.site: store}, clock=lambda: sim.now
+            )
+            monitor.install(sim, config.series_interval_ms)
+
         sim.run(until=config.duration_ms)
     finally:
         if registry is not None:
             _met.set_default_registry(previous_default)
 
+    measure.flush()
     window_s = max(config.duration_ms - config.warmup_ms, 1e-9) / 1000.0
     total_work = (
         measure.useful_work
@@ -389,6 +416,8 @@ def run_simulation(
         samples=samples,
         obs_metrics=registry.to_dict() if registry is not None else {},
     )
+    if monitor is not None:
+        result.obs_metrics.update(monitor.to_dict())
     return result
 
 
@@ -414,6 +443,7 @@ def sweep_clients(
             seed=base.seed,
             maintenance_interval_ms=base.maintenance_interval_ms,
             sample_interval_ms=base.sample_interval_ms,
+            series_interval_ms=base.series_interval_ms,
             collect_metrics=base.collect_metrics,
             engine=base.engine,
         )

@@ -31,6 +31,11 @@ class LatencyStats:
         return len(self._samples)
 
     @property
+    def samples(self) -> List[float]:
+        """The raw samples, in recording order (read-only view)."""
+        return self._samples
+
+    @property
     def total(self) -> float:
         return self._sum
 

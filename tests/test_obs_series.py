@@ -1,0 +1,341 @@
+"""Tests for windowed series, the divergence monitor, the flight
+recorder, and cross-replica trace contexts (repro.obs.series /
+repro.obs.flight / repro.obs.context)."""
+
+import json
+
+import pytest
+
+from repro import TardisStore
+from repro.obs import metrics as met
+from repro.obs import tracing as trc
+from repro.obs.context import (
+    TraceContext,
+    causal_timeline,
+    format_timeline,
+    merge_events,
+    trace_id_of,
+)
+from repro.obs.flight import FlightRecorder, dag_snapshot, format_flight
+from repro.obs.series import (
+    DivergenceMonitor,
+    Trigger,
+    WindowedCounter,
+    WindowedGauge,
+    dag_extent,
+)
+from repro.obs.tracing import Tracer
+from repro.sim.des import Simulator
+
+
+def branched_store(site="obs"):
+    """One fork (two leaves) plus a merge back to a single leaf."""
+    store = TardisStore(site)
+    a, b = store.session("a"), store.session("b")
+    store.put("x", 0, session=a)
+    t1, t2 = store.begin(session=a), store.begin(session=b)
+    t1.put("x", t1.get("x") + 1)
+    t2.put("x", t2.get("x") + 2)
+    t1.commit()
+    t2.commit()
+    return store
+
+
+class TestWindowedSeries:
+    def test_gauge_samples_and_last(self):
+        g = WindowedGauge("g", capacity=8)
+        assert len(g) == 0 and g.last() is None
+        g.sample(1.0, 10.0)
+        g.sample(2.0, 20.0)
+        assert g.samples() == [(1.0, 10.0), (2.0, 20.0)]
+        assert g.last() == (2.0, 20.0)
+
+    def test_gauge_window_is_bounded(self):
+        g = WindowedGauge("g", capacity=4)
+        for i in range(10):
+            g.sample(float(i), float(i))
+        assert len(g) == 4
+        assert g.samples()[0] == (6.0, 6.0)  # oldest samples evicted
+
+    def test_gauge_to_dict(self):
+        g = WindowedGauge("g", capacity=4)
+        g.sample(1.0, 2.0)
+        data = g.to_dict()
+        assert data["type"] == "series"
+        assert data["samples"] == [[1.0, 2.0]]
+
+    def test_counter_is_cumulative(self):
+        c = WindowedCounter("c", capacity=8)
+        c.inc()
+        c.inc(2)
+        c.sample(1.0)
+        c.sample(2.0, 5)  # sample(t, n) folds n in before sampling
+        assert c.total == 8
+        assert c.samples() == [(1.0, 3.0), (2.0, 8.0)]
+
+
+class TestTrigger:
+    def fired(self):
+        hits = []
+        trigger = Trigger(
+            "s", threshold=2.0, hold_ms=10.0,
+            action=lambda mon, trg, now, name, value: hits.append((now, value)),
+        )
+        return trigger, hits
+
+    def test_fires_after_hold(self):
+        trigger, hits = self.fired()
+        trigger.observe(None, "s@a", 0.0, 5.0)
+        assert hits == []  # over threshold, hold not yet served
+        trigger.observe(None, "s@a", 9.0, 5.0)
+        assert hits == []
+        trigger.observe(None, "s@a", 10.0, 6.0)
+        assert hits == [(10.0, 6.0)]
+
+    def test_fires_once_per_excursion_then_rearms(self):
+        trigger, hits = self.fired()
+        for t in (0.0, 10.0, 20.0):
+            trigger.observe(None, "s@a", t, 5.0)
+        assert len(hits) == 1  # held over: still one dump
+        trigger.observe(None, "s@a", 30.0, 1.0)  # falls back: re-arms
+        trigger.observe(None, "s@a", 40.0, 5.0)
+        trigger.observe(None, "s@a", 50.0, 5.0)
+        assert len(hits) == 2
+
+    def test_per_series_arming(self):
+        trigger, hits = self.fired()
+        trigger.observe(None, "s@a", 0.0, 5.0)
+        trigger.observe(None, "s@b", 0.0, 5.0)
+        trigger.observe(None, "s@a", 10.0, 5.0)
+        trigger.observe(None, "s@b", 10.0, 5.0)
+        assert len(hits) == 2  # one per watched series
+
+
+class TestDagExtent:
+    def test_linear_chain(self):
+        store = TardisStore("lin")
+        for i in range(3):
+            store.put("k", i)
+        width, depth = dag_extent(store.dag)
+        assert width == 1
+        assert depth == 3  # root at depth 0, three commits
+
+    def test_forked_dag_width(self):
+        store = branched_store()
+        width, depth = dag_extent(store.dag)
+        assert width == 2  # the two conflicting commits share a level
+        assert len(store.dag.leaves()) == 2
+
+
+class TestDivergenceMonitor:
+    def test_single_site_series(self):
+        store = branched_store()
+        now = {"t": 0.0}
+        monitor = DivergenceMonitor({"obs": store}, clock=lambda: now["t"])
+        monitor.sample()
+        now["t"] = 5.0
+        monitor.sample()
+        data = monitor.to_dict()
+        assert data["tardis_branch_count@obs"]["samples"] == [[0.0, 2], [5.0, 2]]
+        assert data["tardis_merge_debt@obs"]["samples"][-1] == [5.0, 1]
+        # diverged the whole time: staleness grows with the clock
+        assert data["tardis_staleness_ms@obs"]["samples"] == [[0.0, 0.0], [5.0, 5.0]]
+
+    def test_staleness_resets_on_convergence(self):
+        store = branched_store()
+        now = {"t": 0.0}
+        monitor = DivergenceMonitor({"obs": store}, clock=lambda: now["t"])
+        monitor.sample()
+        merge = store.begin_merge(session=store.session("a"))
+        merge.put("x", max(merge.get_all("x")))
+        merge.commit()
+        now["t"] = 7.0
+        monitor.sample()
+        data = monitor.to_dict()
+        assert data["tardis_branch_count@obs"]["samples"][-1] == [7.0, 1]
+        assert data["tardis_staleness_ms@obs"]["samples"][-1] == [7.0, 0.0]
+
+    def test_replication_lag_between_sites(self):
+        a, b = TardisStore("us"), TardisStore("eu")
+        a.put("x", 1)  # committed at us, never replicated
+        monitor = DivergenceMonitor(
+            {"us": a, "eu": b}, clock=lambda: 0.0
+        )
+        monitor.sample()
+        data = monitor.to_dict()
+        assert data["tardis_repl_lag@us->eu"]["samples"] == [[0.0, 1]]
+        assert data["tardis_repl_lag@eu->us"]["samples"] == [[0.0, 0]]
+        assert data["tardis_repl_lag@total"]["samples"] == [[0.0, 1]]
+
+    def test_mirrors_gauges_into_registry(self):
+        store = branched_store()
+        reg = met.MetricsRegistry()
+        with met.use_registry(reg):
+            DivergenceMonitor({"obs": store}, clock=lambda: 0.0).sample()
+        data = reg.to_dict()
+        assert data["tardis_branch_count"]["value"] == 2
+
+    def test_install_samples_on_des_ticks(self):
+        store = TardisStore("des")
+        sim = Simulator()
+        monitor = DivergenceMonitor({"des": store}, clock=lambda: sim.now)
+        monitor.install(sim, interval_ms=10.0)
+        sim.run(until=45.0)
+        assert monitor.samples_taken == 4
+        ts = [t for t, _ in monitor.gauge("tardis_branch_count@des").samples()]
+        assert ts == [10.0, 20.0, 30.0, 40.0]
+
+
+class TestFlightRecorder:
+    def build(self, out_dir=None):
+        tracer = Tracer(capacity=64, enabled=True, clock=lambda: 0.0)
+        store = TardisStore("f")
+        store.set_tracer(tracer)
+        a, b = store.session("a"), store.session("b")
+        store.put("x", 0, session=a)
+        t1, t2 = store.begin(session=a), store.begin(session=b)
+        t1.put("x", t1.get("x") + 1)
+        t2.put("x", t2.get("x") + 2)  # read-modify-write: true conflict
+        t1.commit()
+        t2.commit()  # conflict: branch count goes to 2
+        now = {"t": 0.0}
+        monitor = DivergenceMonitor({"f": store}, clock=lambda: now["t"])
+        recorder = FlightRecorder(
+            {"f": tracer}, {"f": store}, monitor=monitor, out_dir=out_dir
+        )
+        return store, monitor, recorder, now
+
+    def test_trip_produces_one_dump(self):
+        store, monitor, recorder, now = self.build()
+        recorder.arm("tardis_branch_count", threshold=1, hold_ms=10.0)
+        monitor.sample()
+        assert recorder.dumps == []  # hold not served yet
+        now["t"] = 10.0
+        monitor.sample()
+        now["t"] = 20.0
+        monitor.sample()
+        assert len(recorder.dumps) == 1  # fired once, stayed tripped
+        doc = recorder.dumps[0]
+        assert doc["rule"]["series_tripped"] == "tardis_branch_count@f"
+        assert doc["tripped_at_ms"] == 10.0
+
+    def test_dump_contents(self):
+        store, monitor, recorder, now = self.build()
+        monitor.sample()
+        doc = recorder.snapshot(reason="manual")
+        kinds = {e["kind"] for e in doc["events"]}
+        assert "txn.commit" in kinds and "branch.fork" in kinds
+        assert all(e["site"] == "f" for e in doc["events"])
+        assert doc["dropped_events"] == {"f": 0}
+        assert doc["series"]["tardis_branch_count@f"] == [[0.0, 2]]
+        snap = doc["dag"]["f"]
+        assert len(snap["leaves"]) == 2
+        assert {s["id"] for s in snap["states"]} >= set(snap["leaves"])
+
+    def test_dump_written_to_disk_and_formats(self, tmp_path):
+        store, monitor, recorder, now = self.build(out_dir=str(tmp_path))
+        monitor.sample()
+        recorder.record(reason="unit test")
+        assert len(recorder.paths) == 1
+        with open(recorder.paths[0]) as handle:
+            doc = json.load(handle)
+        text = format_flight(doc)
+        assert "FLIGHT RECORDER DUMP — unit test" in text
+        assert "tardis_branch_count@f" in text
+        assert "txn.commit" in text
+
+    def test_truncation_is_visible(self):
+        tracer = Tracer(capacity=4, enabled=True, clock=lambda: 0.0)
+        for i in range(9):
+            tracer.event("noise", i=i)
+        recorder = FlightRecorder({"t": tracer}, {})
+        doc = recorder.snapshot(reason="drop test")
+        assert doc["dropped_events"] == {"t": 5}
+        assert "truncated timelines: t dropped 5" in format_flight(doc)
+
+    def test_dag_snapshot_shape(self):
+        store = branched_store()
+        snap = dag_snapshot(store)
+        assert snap["site"] == "obs"
+        leaf_ids = set(snap["leaves"])
+        leaves = [s for s in snap["states"] if s["id"] in leaf_ids]
+        assert all(s["leaf"] for s in leaves)
+        assert snap["records"] >= 3
+
+
+class TestTraceContext:
+    def test_for_commit_derives_ids(self):
+        store = TardisStore("us")
+        sid = store.put("x", 1)
+        ctx = TraceContext.for_commit(sid, [], "us")
+        assert ctx.trace == trace_id_of(sid) == repr(sid)
+        assert ctx.parent is None
+        ctx2 = TraceContext.for_commit(sid, [sid], "us")
+        assert ctx2.parent == repr(sid)
+
+    def test_equality_and_dict(self):
+        a = TraceContext("s1@us", None, "us")
+        b = TraceContext("s1@us", None, "us")
+        assert a == b and hash(a) == hash(b)
+        assert a != TraceContext("s1@us", "s0@us", "us")
+        assert a.to_dict() == {"trace": "s1@us", "parent": None, "site": "us"}
+
+
+class TestTimelineReconstruction:
+    def test_merge_events_orders_and_tags_sites(self):
+        t_us = Tracer(clock=lambda: 0.0)
+        t_eu = Tracer(clock=lambda: 0.0)
+        t_us.event("a")
+        t_eu.event("b")
+        merged = merge_events({"us": t_us, "eu": t_eu})
+        # equal timestamps: ties break by site name, deterministically
+        assert [e.attrs["site"] for e in merged] == ["eu", "us"]
+        assert [e.kind for e in merged] == ["b", "a"]
+
+    def test_causal_timeline_includes_consumers(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.event("txn.commit", state="s1@us", trace="s1@us", parent=None)
+        tracer.event("repl.apply", state="s1@us", trace="s1@us", src="us")
+        tracer.event("txn.commit", state="s2@eu", trace="s2@eu", parent="s1@us")
+        tracer.event(
+            "branch.merge", state="s3@eu", trace="s3@eu",
+            parents=("s1@us", "s2@eu"),
+        )
+        tracer.event("txn.commit", state="s9@eu", trace="s9@eu", parent="s8@eu")
+        events = merge_events({"eu": tracer})
+        timeline = causal_timeline(events, "s1@us")
+        kinds = [e.kind for e in timeline]
+        assert kinds == ["txn.commit", "repl.apply", "txn.commit", "branch.merge"]
+        text = format_timeline(timeline, "s1@us")
+        assert text.startswith("trace s1@us: 4 events")
+
+    def test_store_events_reconstruct_locally(self):
+        tracer = Tracer(enabled=True, clock=lambda: 0.0)
+        store = TardisStore("us")
+        store.set_tracer(tracer)
+        sid = store.put("x", 1)
+        timeline = causal_timeline(
+            merge_events({"us": tracer}), trace_id_of(sid)
+        )
+        assert [e.kind for e in timeline] == ["txn.commit"]
+        assert timeline[0].attrs["state"] == repr(sid)
+
+
+class TestTracerDropAccounting:
+    def test_dropped_counts_evictions(self):
+        tracer = Tracer(capacity=3, enabled=True)
+        for i in range(5):
+            tracer.event("e", i=i)
+        assert tracer.dropped == 2
+        assert [e.attrs["i"] for e in tracer.events()] == [2, 3, 4]
+        tracer.clear()
+        assert tracer.dropped == 0
+
+    def test_dropped_metric_mirrored(self):
+        reg = met.MetricsRegistry()
+        with met.use_registry(reg):
+            tracer = Tracer(capacity=2, enabled=True)
+            for i in range(6):
+                tracer.event("e", i=i)
+        assert tracer.dropped == 4
+        assert reg.to_dict()["tardis_trace_dropped_total"]["value"] == 4

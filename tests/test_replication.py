@@ -1,8 +1,12 @@
 """Tests for multi-site replication: gossip, caching, partitions, GC modes."""
 
+import random
+
 import pytest
 
 from repro.core.ids import StateId
+from repro.obs import metrics as met
+from repro.obs.context import trace_id_of
 from repro.replication import Cluster, SimNetwork
 from repro.replication.cluster import PESSIMISTIC, run_replicated_workload
 from repro.replication.replicator import FetchRequest, TxnMessage
@@ -244,8 +248,8 @@ class TestReplication:
         # Cut the link so eu misses the first commit entirely...
         cluster.network.partition("us", "eu")
         lost = a.put("x", 1)
-        # ...simulate message loss: heal with the buffer cleared.
-        cluster.network._buffered.clear()
+        # ...simulate message loss: discard the buffer, then heal.
+        assert cluster.network.drop_buffered("us", "eu") == 1
         cluster.network.heal("us", "eu")
         child = a.put("x", 2)
         cluster.run(until=400)
@@ -303,3 +307,142 @@ class TestReplicatedWorkload:
         assert len(result.per_site) == 2
         assert all(r.commits > 0 for r in result.per_site)
         assert "sites=2" in result.summary()
+
+
+class TestNetworkMetrics:
+    """tardis_net_* metrics mirror the SimNetwork instance counters."""
+
+    def net_metrics(self, reg):
+        data = reg.to_dict()
+        return {
+            name: entry["value"]
+            for name, entry in data.items()
+            if name.startswith("tardis_net_")
+        }
+
+    def test_send_deliver_mirrored(self):
+        reg = met.MetricsRegistry()
+        with met.use_registry(reg):
+            cluster = two_sites()
+            cluster.stores["us"].put("x", 1)
+            cluster.run(until=100)
+        net = cluster.network
+        mirrored = self.net_metrics(reg)
+        assert mirrored["tardis_net_messages_sent_total"] == net.messages_sent
+        assert (
+            mirrored["tardis_net_messages_delivered_total"]
+            == net.messages_delivered
+        )
+        assert net.messages_sent > 0
+
+    def test_partition_heal_drop_mirrored(self):
+        reg = met.MetricsRegistry()
+        with met.use_registry(reg):
+            cluster = two_sites()
+            a = cluster.stores["us"]
+            cluster.network.partition("us", "eu")
+            a.put("x", 1)
+            a.put("x", 2)
+            cluster.run(until=50)
+            assert cluster.network.buffered_count == 2
+            dropped = cluster.network.drop_buffered("us", "eu")
+            assert dropped == 2
+            a.put("x", 3)  # buffers again behind the same partition
+            cluster.network.heal("us", "eu")
+            cluster.run(until=200)
+        net = cluster.network
+        mirrored = self.net_metrics(reg)
+        assert mirrored["tardis_net_buffered_total"] == net.messages_buffered == 3
+        assert mirrored["tardis_net_buffered_dropped_total"] == 2
+        assert mirrored["tardis_net_buffered_flushed_total"] == 1
+
+    def test_counters_reconcile_at_any_instant(self):
+        """sent == delivered + in_flight + buffered + dropped, always."""
+        cluster = two_sites(latency=25.0)
+        net = cluster.network
+        a, b = cluster.stores["us"], cluster.stores["eu"]
+
+        def reconciled():
+            return net.messages_sent == (
+                net.messages_delivered
+                + net.in_flight
+                + net.buffered_count
+                + net.buffered_dropped
+            )
+
+        a.put("x", 1)
+        assert net.in_flight == 1 and reconciled()  # mid-flight
+        cluster.run(until=100)
+        assert net.in_flight == 0 and reconciled()  # delivered
+        net.partition("us", "eu")
+        a.put("x", 2)
+        b.put("y", 9)
+        assert net.buffered_count == 2 and reconciled()  # parked
+        net.drop_buffered("us", "eu")
+        assert net.buffered_dropped == 2 and reconciled()  # lost
+        a.put("x", 3)
+        net.heal("us", "eu")
+        assert net.buffered_count == 0 and reconciled()  # flushed to flight
+        cluster.run(until=300)
+        assert reconciled()
+
+
+class TestTracePropagation:
+    """Trace contexts ride replication across sites (the tentpole)."""
+
+    def test_context_survives_partition_buffering(self):
+        cluster = Cluster(n_sites=2, default_latency_ms=10, trace=True)
+        a = cluster.stores["us"]
+        cluster.network.partition("us", "eu")
+        sid = a.put("x", 1)
+        cluster.run(until=50)  # buffered: nothing applied at eu
+        applies = [
+            e for e in cluster.events(kind="repl.apply")
+            if e.attrs.get("site") == "eu"
+        ]
+        assert applies == []
+        cluster.network.heal("us", "eu")
+        cluster.run(until=200)
+        applies = [
+            e for e in cluster.events(kind="repl.apply")
+            if e.attrs.get("site") == "eu"
+        ]
+        assert [e.attrs["trace"] for e in applies] == [trace_id_of(sid)]
+        # the full timeline reads commit -> send -> apply
+        kinds = [e.kind for e in cluster.timeline(trace_id_of(sid))]
+        assert kinds[0] == "txn.commit"
+        assert "repl.send" in kinds and "repl.apply" in kinds
+
+    def test_three_site_fuzz_every_apply_resolves_to_one_commit(self):
+        """Randomized puts over 3 sites: every repl.apply trace id maps
+        back to exactly one txn.commit at the originating site."""
+        rng = random.Random(20160814)
+        cluster = Cluster(n_sites=3, trace=True, trace_capacity=65536)
+        sites = cluster.sites
+        for step in range(120):
+            site = rng.choice(sites)
+            key = "k%d" % rng.randrange(8)
+            cluster.stores[site].put(key, (site, step))
+            if rng.random() < 0.3:
+                cluster.run(until=cluster.sim.now + rng.uniform(5.0, 120.0))
+        cluster.run()  # drain all replication traffic
+
+        assert all(t.dropped == 0 for t in cluster.tracers.values())
+        commits = {}
+        for event in cluster.events(kind="txn.commit"):
+            commits.setdefault(event.attrs["trace"], []).append(event)
+        for event in cluster.events(kind="repl.apply"):
+            trace = event.attrs["trace"]
+            origin = commits.get(trace)
+            assert origin is not None, "apply %r has no commit" % trace
+            assert len(origin) == 1, "trace %r committed %d times" % (
+                trace, len(origin),
+            )
+            # the commit happened at the trace id's origin site, the
+            # apply anywhere else
+            origin_site = origin[0].attrs["site"]
+            assert trace.endswith("@" + origin_site)
+            assert event.attrs["site"] != origin_site
+        # with 120 puts over 3 sites there was real replication traffic
+        applies = cluster.events(kind="repl.apply")
+        assert len(applies) >= 120  # each commit applies at >= 1 peer

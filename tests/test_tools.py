@@ -155,3 +155,44 @@ class TestCli:
         out = capsys.readouterr().out
         assert '"replayed": 1' in out
         assert "recovered" in out
+
+
+class TestTraceCommand:
+    def test_trace_prints_multi_site_timeline(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        # commit at the origin, replicate, apply at each peer, merge
+        assert out.startswith("trace s1@us:")
+        assert "3 sites" in out
+        assert "txn.commit" in out
+        assert "repl.send" in out
+        assert "repl.apply" in out
+        assert "branch.merge" in out
+        # the apply lands at both peers
+        apply_sites = {
+            line.split()[1]
+            for line in out.splitlines()
+            if "repl.apply" in line
+        }
+        assert apply_sites >= {"eu", "asia"}
+
+    def test_trace_unknown_txn_lists_known(self, capsys):
+        assert main(["trace", "--txn", "s999@zz"]) == 1
+        out = capsys.readouterr().out
+        assert "no events for trace 's999@zz'" in out
+        assert "s1@us" in out  # known traces are suggested
+
+    def test_trace_dump_then_flight_pretty_print(self, tmp_path, capsys):
+        dump = str(tmp_path / "flight.json")
+        assert main(["trace", "--dump", dump]) == 0
+        capsys.readouterr()  # discard the timeline output
+        with open(dump) as handle:
+            doc = json.load(handle)
+        assert doc["flight_schema"] == 1
+        assert doc["dag"].keys() == {"us", "eu", "asia"}
+        assert main(["flight", dump]) == 0
+        out = capsys.readouterr().out
+        assert "FLIGHT RECORDER DUMP" in out
+        assert "-- state DAGs" in out
+        assert "-- last" in out and "trace events" in out
+        assert "tardis_branch_count@us" in out
