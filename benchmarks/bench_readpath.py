@@ -1,0 +1,177 @@
+"""Read-path caching microbenchmark: generation-stamped caches vs cold.
+
+The read path dominates TARDiS's paper workloads (Fig 9a is 90% reads),
+and on a branched store every cold read pays a begin BFS over the leaf
+set plus a newest-first version walk that scans *other* branches'
+versions before finding its own. The generation-stamped caches
+(docs/internals.md §10) collapse both to O(1) revalidations while the
+DAG generation stands still.
+
+This benchmark builds a store with ``N_BRANCHES`` live branches, each
+having committed ``WRITES_PER_BRANCH`` rounds over a shared key set —
+the divergence pattern that makes cold visibility walks expensive —
+then times a read-only session pinned to one branch repeatedly
+beginning and reading every key. Two arms, identical structure:
+
+* **cached** — the default store (``read_cache=True``);
+* **cold** — ``read_cache=False``: every begin re-runs the BFS, every
+  read re-walks the version list, every conflict query re-walks
+  ``states_between``.
+
+Both arms must return bit-identical values (asserted), so the headline
+``speedup_stable`` (cold time / cached time, floor ≥3×) is a pure
+caching win, not a behaviour change. A second scenario keeps writing
+in the background so every generation bump invalidates: the cached arm
+must stay within noise of the cold one (``invalidated_ratio``), which
+bounds the revalidation overhead. Results land in
+``BENCH_readpath.json``; CI asserts the floor.
+"""
+
+import time
+
+from repro import TardisStore
+
+from common import Report
+
+N_BRANCHES = 12
+WRITES_PER_BRANCH = 10
+KEYS = ["key%d" % i for i in range(8)]
+ROUNDS = 300
+#: acceptance floor: cached stable-branch reads must beat cold ones by
+#: this factor (ISSUE 4 acceptance criterion, asserted in CI).
+MIN_SPEEDUP_STABLE = 3.0
+
+
+def build_store(read_cache: bool) -> TardisStore:
+    """A store with ``N_BRANCHES`` divergent branches over shared keys."""
+    store = TardisStore("bench", read_cache=read_cache)
+    sessions = [store.session("s%d" % i) for i in range(N_BRANCHES)]
+    with store.begin(session=sessions[0]) as t:
+        t.put("base", 0)
+        for key in KEYS:
+            t.put(key, ("init", key))
+    # Open one conflicting transaction per session before committing any:
+    # every read state is the same leaf, every commit after the first
+    # read-write conflicts on ``base`` and forks its own branch.
+    txns = [store.begin(session=s) for s in sessions]
+    for i, txn in enumerate(txns):
+        txn.put("base", txn.get("base") + i + 1)
+    for txn in txns:
+        txn.commit()
+    # Deepen every branch over the shared keys so the newest-first
+    # version walk on any one branch scans the others' versions first.
+    for round_no in range(WRITES_PER_BRANCH):
+        for i, sess in enumerate(sessions):
+            txn = store.begin(session=sess)
+            for key in KEYS:
+                txn.put(key, (i, round_no, key))
+            txn.commit()
+    return store
+
+
+def _read_loop(store: TardisStore, rounds: int):
+    """Time ``rounds`` of (begin, read every key, abort) on branch 0."""
+    sess = store.session("s0")
+    values = []
+    start = time.perf_counter()
+    for _ in range(rounds):
+        txn = store.begin(session=sess)
+        for key in KEYS:
+            values.append(txn.get(key))
+        txn.abort()
+    elapsed = time.perf_counter() - start
+    return elapsed, values
+
+
+def _read_write_loop(store: TardisStore, rounds: int):
+    """Reads with an interleaved writer: every round moves the generation."""
+    reader = store.session("s0")
+    writer = store.session("s1")
+    values = []
+    start = time.perf_counter()
+    for round_no in range(rounds):
+        txn = store.begin(session=writer)
+        txn.put(KEYS[round_no % len(KEYS)], ("w", round_no))
+        txn.commit()
+        txn = store.begin(session=reader)
+        for key in KEYS:
+            values.append(txn.get(key))
+        txn.abort()
+    elapsed = time.perf_counter() - start
+    return elapsed, values
+
+
+def run_bench() -> dict:
+    report = Report(
+        "readpath",
+        "Read-path caching: generation-stamped caches vs cold walks",
+        config={
+            "n_branches": N_BRANCHES,
+            "writes_per_branch": WRITES_PER_BRANCH,
+            "n_keys": len(KEYS),
+            "rounds": ROUNDS,
+        },
+    )
+    reads = ROUNDS * len(KEYS)
+
+    # -- stable branch: the cache's home turf ------------------------------
+    cached_s = cold_s = float("inf")
+    for _ in range(3):  # interleaved min-of-3: least noise-contaminated
+        cached = build_store(read_cache=True)
+        cold = build_store(read_cache=False)
+        t_cached, v_cached = _read_loop(cached, ROUNDS)
+        t_cold, v_cold = _read_loop(cold, ROUNDS)
+        assert v_cached == v_cold, "cached arm diverged from cold arm"
+        cached_s, cold_s = min(cached_s, t_cached), min(cold_s, t_cold)
+    stats = cached.cache_stats()
+    speedup = cold_s / cached_s if cached_s else float("inf")
+    report.metric("cached_us_per_read", 1e6 * cached_s / reads)
+    report.metric("cold_us_per_read", 1e6 * cold_s / reads)
+    report.metric("speedup_stable", speedup)
+    report.metric("begin_cache_hits", stats["begin_hits"])
+    report.metric("vis_cache_hits", stats["vis_hits"])
+
+    # -- churning branch: bounds the revalidation overhead -----------------
+    cached_c = cold_c = float("inf")
+    for _ in range(3):
+        cached = build_store(read_cache=True)
+        cold = build_store(read_cache=False)
+        t_cached, v_cached = _read_write_loop(cached, ROUNDS // 3)
+        t_cold, v_cold = _read_write_loop(cold, ROUNDS // 3)
+        assert v_cached == v_cold, "cached arm diverged from cold arm"
+        cached_c, cold_c = min(cached_c, t_cached), min(cold_c, t_cold)
+    churn_ratio = cold_c / cached_c if cached_c else float("inf")
+    report.metric("churn_speedup", churn_ratio)
+
+    report.table(
+        ["scenario", "cold us/read", "cached us/read", "speedup"],
+        [
+            [
+                "stable branch",
+                "%.2f" % (1e6 * cold_s / reads),
+                "%.2f" % (1e6 * cached_s / reads),
+                "%.1fx" % speedup,
+            ],
+            [
+                "interleaved writer",
+                "%.2f" % (1e6 * cold_c * 3 / reads),
+                "%.2f" % (1e6 * cached_c * 3 / reads),
+                "%.2fx" % churn_ratio,
+            ],
+        ],
+        widths=[20, 14, 16, 10],
+    )
+    report.finish()
+    return report.metrics
+
+
+def test_readpath_cache_speedup():
+    """Pytest wrapper: the ISSUE 4 acceptance floor on the stable branch."""
+    metrics = run_bench()
+    assert metrics["speedup_stable"] >= MIN_SPEEDUP_STABLE, metrics
+    # Caching must never *lose* under churn (revalidation is O(1)).
+    assert metrics["churn_speedup"] >= 0.8, metrics
+
+
+if __name__ == "__main__":
+    run_bench()

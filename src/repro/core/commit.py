@@ -71,6 +71,7 @@ class CommitPipeline:
         "log_values",
         "group_commit",
         "_unflushed",
+        "write_index",
         "tracer",
         "last_ctx",
         "_hot_registry",
@@ -86,6 +87,7 @@ class CommitPipeline:
         wal: Optional[WriteAheadLog] = None,
         log_values: bool = True,
         group_commit: int = 0,
+        write_index: Any = None,
     ):
         self.dag = dag
         self.versions = versions
@@ -93,6 +95,9 @@ class CommitPipeline:
         self.log_values = log_values
         self.group_commit = int(group_commit)
         self._unflushed = 0
+        #: merge write-set index topped up at commit time (None when the
+        #: store runs with read-path caches disabled).
+        self.write_index = write_index
         #: per-store tracer (set via TardisStore.set_tracer); None means
         #: trace contexts are not generated and last_ctx stays None.
         self.tracer = None
@@ -126,12 +131,16 @@ class CommitPipeline:
         context that arrived with a remote transaction. The caller holds
         the store lock and has already settled all constraint questions.
         """
+        # create_state bumps dag.generation, which is what tells the
+        # begin-state cache to revalidate against the new leaf set.
         state = self.dag.create_state(
             parents,
             read_keys=read_keys,
             write_keys=frozenset(write_keys if write_keys is not None else writes),
             state_id=state_id,
         )
+        if self.write_index is not None:
+            self.write_index.on_commit(state)
         tracer = self.tracer
         if ctx is None and tracer is not None and tracer.enabled:
             # LOCAL/MERGE commits originate a new trace here; REMOTE

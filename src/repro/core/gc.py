@@ -91,6 +91,11 @@ class GarbageCollector:
             self.cycles += 1
             marked = self._mark_pass(stats)
             if marked:
+                # Marking changes which states find_read_state may
+                # return without touching the DAG's shape, so the
+                # read-path caches must see a generation move (splice
+                # and retirement below bump it again, destructively).
+                dag.bump_generation()
                 self._safe_pass(stats)
                 self._collect_pass(stats)
             promoted, dropped = store.versions.promote_and_prune(dag)

@@ -149,6 +149,20 @@ class StateDAG:
         self._promotions: Dict[StateId, StateId] = {}
         #: count of retroactive fork-path pushes (exposed for benchmarks).
         self.retro_updates = 0
+        #: monotone counter bumped on every event that can change what a
+        #: read observes: state creation (commits, remote grafts), GC
+        #: ceiling marking, splice-out, fork retirement, and record
+        #: promotion. Read-path caches validate against it (§6.1.3-6.1.4
+        #: reproduction note: see docs/internals.md §10).
+        self.generation = 0
+        #: value of :attr:`generation` at the last *destructive* event —
+        #: one that rewrites existing bookkeeping (splice-out merges
+        #: write keys into the child, fork retirement rewrites masks,
+        #: record promotion rewrites version lists) rather than only
+        #: appending. Caches keyed on masks or state contents must drop
+        #: everything older than this watermark; append-only events
+        #: (plain commits) leave it alone.
+        self.destructive_gen = 0
         #: cached splice counter — splice_out runs once per collected
         #: state (roughly once per commit at steady state), so the
         #: per-call registry name lookup is measurable.
@@ -175,6 +189,17 @@ class StateDAG:
 
     def num_forks(self) -> int:
         return sum(1 for s in self._states.values() if s.is_fork_point)
+
+    def bump_generation(self) -> int:
+        """Advance the cache generation (appending events; cheap)."""
+        self.generation += 1
+        return self.generation
+
+    def mark_destructive(self) -> int:
+        """Advance the generation and move the destructive watermark."""
+        self.generation += 1
+        self.destructive_gen = self.generation
+        return self.generation
 
     def resolve(self, state_id: StateId) -> State:
         """Map an id to its live state, following promotions (§6.3).
@@ -245,6 +270,7 @@ class StateDAG:
             self._leaves.pop(parent.id, None)
         self._states[state_id] = state
         self._leaves[state_id] = state
+        self.generation += 1
         return state
 
     def _retro_add(self, subtree_root: State, point: ForkPoint) -> None:
@@ -332,6 +358,29 @@ class StateDAG:
                     queue.append(parent)
         return None
 
+    def revalidate_read_state(
+        self, state: State, predicate: Callable[[State], bool]
+    ) -> bool:
+        """Cheaply confirm that ``state`` is still what
+        :meth:`find_read_state` would return for ``predicate``.
+
+        The BFS visits all leaves newest-first before any interior
+        state, so a cached result remains correct exactly when it is
+        still a live, unmarked leaf that satisfies the predicate and no
+        *newer* leaf is acceptable. That check is O(leaves) — typically
+        one predicate evaluation — versus the BFS's queue/seen-set
+        machinery, and it is what the begin-state cache runs on a hit
+        candidate (docs/internals.md §10).
+        """
+        if self._leaves.get(state.id) is not state:
+            return False
+        for leaf in self.leaves():
+            if leaf.id == state.id:
+                return not leaf.marked and predicate(leaf)
+            if not leaf.marked and predicate(leaf):
+                return False  # a newer leaf wins the BFS
+        return False
+
     # -- branch structure queries (§6.2) -------------------------------------
 
     def fork_points_of(self, states: Iterable[State]) -> List[State]:
@@ -404,6 +453,9 @@ class StateDAG:
             self.root = child
         del self._states[state.id]
         self._promotions[state.id] = child.id
+        # Splicing merges write keys into the child and rewrites the
+        # promotion table: destructive for every read-path cache.
+        self.mark_destructive()
         m = _met.DEFAULT
         if m.enabled:
             if self._hot_registry is not m:
@@ -441,6 +493,9 @@ class StateDAG:
                 scrubbed += popcount(overlap)
                 state.path_mask &= keep
         self.ancestry.release_forks(dead_fork_ids)
+        # Masks changed in place and bit positions will be reused: any
+        # cache keyed on a path mask is now meaningless.
+        self.mark_destructive()
         return scrubbed
 
     def promotion_of(self, state_id: StateId) -> Optional[StateId]:

@@ -37,7 +37,7 @@ from repro.core.constraints import (
 )
 from repro.core.gc import GarbageCollector
 from repro.core.ids import ROOT_ID, StateId
-from repro.core.merge import MergeTransaction
+from repro.core.merge import MergeTransaction, WriteSetIndex
 from repro.core.state_dag import State, StateDAG
 from repro.core.transaction import (
     ABORTED,
@@ -72,6 +72,9 @@ class ClientSession:
         self._store = store
         self.name = name
         self.last_commit_id: StateId = store.dag.root.id
+        #: begin-state memoization: constraint -> last chosen read state
+        #: (revalidated structurally on every hit; docs/internals.md §10).
+        self._begin_cache: Dict[Constraint, State] = {}
 
     def last_commit_state(self) -> State:
         return self._store.dag.resolve(self.last_commit_id)
@@ -87,7 +90,16 @@ class ClientSession:
 class StoreMetrics:
     """Lifetime counters for one store."""
 
-    __slots__ = ("commits", "read_only_commits", "aborts", "forks", "merges", "remote_applied")
+    __slots__ = (
+        "commits",
+        "read_only_commits",
+        "aborts",
+        "forks",
+        "merges",
+        "remote_applied",
+        "begin_cache_hits",
+        "begin_cache_misses",
+    )
 
     def __init__(self) -> None:
         self.commits = 0
@@ -96,6 +108,8 @@ class StoreMetrics:
         self.forks = 0
         self.merges = 0
         self.remote_applied = 0
+        self.begin_cache_hits = 0
+        self.begin_cache_misses = 0
 
 
 class _ConstraintProbe:
@@ -127,14 +141,25 @@ class TardisStore:
         backend: Optional[str] = None,
         engine: Any = None,
         group_commit: int = 0,
+        read_cache: bool = True,
     ):
         self.site = site
         #: paper defaults: Ancestor begin, Serializability end (§5.1).
         self.default_begin = default_begin or AncestorConstraint()
         self.default_end = default_end or SerializabilityConstraint()
         self.dag = StateDAG(site)
+        #: generation-stamped read-path caching (docs/internals.md §10):
+        #: begin-state memoization, per-key visibility cache, and the
+        #: merge write-set index all key off ``dag.generation`` /
+        #: ``dag.destructive_gen``. ``read_cache=False`` runs every read
+        #: path cold (the A/B arm of bench_readpath).
+        self.read_cache = read_cache
         self.versions = VersionedRecordStore(
-            btree_degree=btree_degree, seed=seed, backend=backend, engine=engine
+            btree_degree=btree_degree,
+            seed=seed,
+            backend=backend,
+            engine=engine,
+            cache=read_cache,
         )
         self.metrics = StoreMetrics()
         self._lock = threading.RLock()
@@ -142,6 +167,11 @@ class TardisStore:
         self._session_counter = 0
         self.wal: Optional[WriteAheadLog] = (
             WriteAheadLog(wal_path, sync=wal_sync) if wal_path else None
+        )
+        #: incremental conflict-detection summaries (docs/internals.md
+        #: §10); None when the read-path caches are disabled.
+        self._write_index: Optional[WriteSetIndex] = (
+            WriteSetIndex(self.dag) if read_cache else None
         )
         #: the single commit code path: DAG install, version insert,
         #: WAL append (with optional group-commit batching), metrics.
@@ -151,6 +181,7 @@ class TardisStore:
             wal=self.wal,
             log_values=log_values,
             group_commit=group_commit,
+            write_index=self._write_index,
         )
         self.gc = GarbageCollector(self)
         #: listeners notified of each local commit (the replicator hooks in).
@@ -173,6 +204,8 @@ class TardisStore:
         self._hot_abort = m.counter("tardis_txn_abort_total")
         self._hot_ripple = m.histogram("tardis_commit_ripple_steps")
         self._hot_fork = m.counter("tardis_branch_fork_total")
+        self._hot_begin_cache_hit = m.counter("tardis_begin_cache_hit_total")
+        self._hot_begin_cache_miss = m.counter("tardis_begin_cache_miss_total")
 
     def set_tracer(self, tracer) -> None:
         """Give this store (and its commit pipeline) a dedicated tracer."""
@@ -185,15 +218,19 @@ class TardisStore:
     # -- sessions -----------------------------------------------------------
 
     def session(self, name: Optional[str] = None) -> ClientSession:
-        if name is None:
-            self._session_counter += 1
-            name = "client-%d" % self._session_counter
-        existing = self._sessions.get(name)
-        if existing is not None:
-            return existing
-        sess = ClientSession(self, name)
-        self._sessions[name] = sess
-        return sess
+        # The whole lookup-or-create runs under the store lock:
+        # auto-naming increments a shared counter, and two threads
+        # racing on the same explicit name must get one session object.
+        with self._lock:
+            if name is None:
+                self._session_counter += 1
+                name = "client-%d" % self._session_counter
+            existing = self._sessions.get(name)
+            if existing is not None:
+                return existing
+            sess = ClientSession(self, name)
+            self._sessions[name] = sess
+            return sess
 
     def sessions(self) -> List[ClientSession]:
         return list(self._sessions.values())
@@ -228,17 +265,33 @@ class TardisStore:
         session = session or self.session()
         with self._lock:
             probe = _ConstraintProbe(session, self.dag)
+            predicate = lambda s: constraint.satisfied_as_read_state(s, probe)
+            state = None
+            begin_cached = False
+            if self.read_cache:
+                cached = session._begin_cache.get(constraint)
+                if cached is not None and self.dag.revalidate_read_state(
+                    cached, predicate
+                ):
+                    state = cached
+                    begin_cached = True
+                    self.metrics.begin_cache_hits += 1
             visits = [0]
-            state = self.dag.find_read_state(
-                lambda s: constraint.satisfied_as_read_state(s, probe),
-                count_visits=visits,
-            )
             if state is None:
-                raise BeginError(
-                    "no state satisfies begin constraint %s" % constraint.name
-                )
+                state = self.dag.find_read_state(predicate, count_visits=visits)
+                if state is None:
+                    raise BeginError(
+                        "no state satisfies begin constraint %s" % constraint.name
+                    )
+                if self.read_cache:
+                    self.metrics.begin_cache_misses += 1
+                    cache = session._begin_cache
+                    if len(cache) >= 8 and constraint not in cache:
+                        cache.clear()  # bound per-session memory
+                    cache[constraint] = state
             txn = Transaction(self, session, state, constraint, read_only=read_only)
             txn.trace.begin_visits = visits[0]
+            txn.trace.begin_cached = begin_cached
             state.pins += 1
         m = _met.DEFAULT
         if m.enabled:
@@ -246,6 +299,11 @@ class TardisStore:
                 self._hot_metrics(m)
             self._hot_begin.inc()
             self._hot_begin_visits.record(visits[0])
+            if self.read_cache:
+                if begin_cached:
+                    self._hot_begin_cache_hit.inc()
+                else:
+                    self._hot_begin_cache_miss.inc()
         return txn
 
     def begin_merge(
@@ -299,22 +357,30 @@ class TardisStore:
 
     def _read(self, key: Any, state: State, trace: OpTrace) -> Any:
         scanned = [0]
-        hit = self.versions.read_visible(key, state, self.dag, scanned)
+        hits = [0]
+        hit = self.versions.read_visible(key, state, self.dag, scanned, hits)
         trace.versions_scanned += scanned[0]
+        trace.vis_hits += hits[0]
         if hit is None:
             return _NOT_FOUND
         return hit[1]
 
     def _read_at(self, key: Any, state: State, trace: OpTrace) -> Optional[Tuple[StateId, Any]]:
         scanned = [0]
-        hit = self.versions.read_visible(key, state, self.dag, scanned)
+        hits = [0]
+        hit = self.versions.read_visible(key, state, self.dag, scanned, hits)
         trace.versions_scanned += scanned[0]
+        trace.vis_hits += hits[0]
         return hit
 
     def _read_candidates(self, key: Any, states: List[State], trace: OpTrace):
         scanned = [0]
-        candidates = self.versions.read_candidates(key, states, self.dag, scanned)
+        hits = [0]
+        candidates = self.versions.read_candidates(
+            key, states, self.dag, scanned, hits
+        )
         trace.versions_scanned += scanned[0]
+        trace.vis_hits += hits[0]
         return candidates
 
     def _conflict_writes(self, states: List[State]) -> List[Any]:
@@ -322,12 +388,23 @@ class TardisStore:
         if not forks:
             return []
         fork = forks[0]
-        branch_writes = []
-        for head in states:
-            written: set = set()
-            for state in self.dag.states_between(head, fork):
-                written |= state.write_keys
-            branch_writes.append(written)
+        index = self._write_index
+        if index is not None:
+            before_hits, before_misses = index.hits, index.misses
+            branch_writes = [set(index.writes_since(head, fork)) for head in states]
+            m = _met.DEFAULT
+            if m.enabled:
+                m.inc("tardis_writeset_index_hit_total", index.hits - before_hits)
+                m.inc(
+                    "tardis_writeset_index_miss_total", index.misses - before_misses
+                )
+        else:
+            branch_writes = []
+            for head in states:
+                written: set = set()
+                for state in self.dag.states_between(head, fork):
+                    written |= state.write_keys
+                branch_writes.append(written)
         conflicting: set = set()
         for i, left in enumerate(branch_writes):
             for right in branch_writes[i + 1 :]:
@@ -591,6 +668,25 @@ class TardisStore:
         return value
 
     # -- maintenance --------------------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Read-path cache effectiveness (docs/internals.md §10)."""
+        stats = {
+            "enabled": self.read_cache,
+            "generation": self.dag.generation,
+            "destructive_gen": self.dag.destructive_gen,
+            "begin_hits": self.metrics.begin_cache_hits,
+            "begin_misses": self.metrics.begin_cache_misses,
+        }
+        stats.update(
+            ("vis_%s" % k, v) for k, v in self.versions.cache_info().items()
+        )
+        index = self._write_index
+        if index is not None:
+            stats["writeset_hits"] = index.hits
+            stats["writeset_misses"] = index.misses
+            stats["writeset_entries"] = len(index)
+        return stats
 
     def collect_garbage(self, flush_promotions: bool = False):
         """Run one full garbage-collection cycle (§6.3)."""

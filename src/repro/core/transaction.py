@@ -54,7 +54,9 @@ class OpTrace:
 
     __slots__ = (
         "begin_visits",
+        "begin_cached",
         "versions_scanned",
+        "vis_hits",
         "ripple_steps",
         "children_checked",
         "writes_applied",
@@ -64,7 +66,11 @@ class OpTrace:
 
     def __init__(self) -> None:
         self.begin_visits = 0
+        #: the begin-state cache satisfied begin without the leaf BFS.
+        self.begin_cached = False
         self.versions_scanned = 0
+        #: reads answered by the visibility cache (scan nothing).
+        self.vis_hits = 0
         self.ripple_steps = 0
         self.children_checked = 0
         self.writes_applied = 0

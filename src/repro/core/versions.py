@@ -14,6 +14,25 @@ Record promotion (§6.3) rewrites versions whose states were garbage
 collected to the id of the surviving descendant that took over their
 identity, then discards all but the newest of the versions that collapsed
 onto the same id.
+
+**Visibility cache.** Repeated reads on a stable branch redo the same
+walk, so the store keeps a per-key cache mapping ``(key,
+read_state.path_mask)`` to the winning ``(state_id, value)``. An entry
+remembers the id of the read state it was computed at (``cid``); it may
+be reused from read state ``r`` when
+
+* ``r.id == cid`` (the very same read point), or
+* ``r.id > cid`` and the key's newest version id is ``<= cid`` — ids
+  are branch-monotone, so every version the entry's walk examined is
+  still the complete candidate set for the newer read point (the entry
+  then adopts ``r.id`` as its new ``cid``).
+
+Writes to the key are caught by the newest-version-id comparison (an
+O(1) peek at the reversed skip list's head), and everything that
+rewrites masks, version lists, or the promotion table — GC splice-out,
+fork retirement, record promotion — moves the DAG's destructive
+generation, which drops the whole cache. See docs/internals.md §10 for
+why the two id conditions above are exactly sufficient.
 """
 
 from __future__ import annotations
@@ -23,8 +42,13 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from repro.core.ids import StateId
 from repro.core.state_dag import State, StateDAG
 from repro.errors import GarbageCollectedError
+from repro.obs import metrics as _met
 from repro.storage.engine import RecordEngine, create_engine
 from repro.storage.skiplist import SkipList
+
+#: visibility-cache size cap; a full clear (counted as invalidations)
+#: keeps the structure bounded on adversarial key/mask churn.
+_VIS_CACHE_MAX = 1 << 16
 
 
 class VersionedRecordStore:
@@ -43,6 +67,7 @@ class VersionedRecordStore:
         seed: Optional[int] = None,
         backend: Optional[str] = None,
         engine: Any = None,
+        cache: bool = True,
     ):
         self._versions: Dict[Any, SkipList] = {}
         if engine is None:
@@ -50,6 +75,38 @@ class VersionedRecordStore:
         self._records: RecordEngine = create_engine(engine, degree=btree_degree)
         self._seed = seed
         self._next_list = 0
+        #: per-key visibility cache (module docstring): ``(key, mask) ->
+        #: [cid, hit]`` where ``hit`` is the ``(state_id, value)`` result
+        #: (None for a cached "no visible version").
+        self.cache_enabled = cache
+        self._vis_cache: Dict[Tuple[Any, int], list] = {}
+        #: destructive watermark the cache contents were built under.
+        self._vis_epoch = -1
+        self.vis_hits = 0
+        self.vis_misses = 0
+        self.vis_invalidations = 0
+        #: hot metric handles, re-resolved when the default registry
+        #: changes identity (benchmark harnesses swap it per run).
+        self._hot_registry = None
+        self._hot_vis_hit = None
+        self._hot_vis_miss = None
+        self._hot_vis_inval = None
+
+    def _hot_metrics(self, m) -> None:
+        self._hot_registry = m
+        self._hot_vis_hit = m.counter("tardis_vis_cache_hit_total")
+        self._hot_vis_miss = m.counter("tardis_vis_cache_miss_total")
+        self._hot_vis_inval = m.counter("tardis_vis_cache_invalidations_total")
+
+    def cache_info(self) -> Dict[str, Any]:
+        """Visibility-cache introspection (tests, ``tardis top``)."""
+        return {
+            "enabled": self.cache_enabled,
+            "size": len(self._vis_cache),
+            "hits": self.vis_hits,
+            "misses": self.vis_misses,
+            "invalidations": self.vis_invalidations,
+        }
 
     # -- introspection -----------------------------------------------------
 
@@ -98,14 +155,74 @@ class VersionedRecordStore:
         read_state: State,
         dag: StateDAG,
         scanned: Optional[List[int]] = None,
+        hits: Optional[List[int]] = None,
     ) -> Optional[Tuple[StateId, Any]]:
         """Most recent version of ``key`` visible from ``read_state``.
 
         Returns ``(version_state_id, value)`` or None when the key has no
         version on the selected branch. ``scanned`` (one-element list)
-        counts versions examined, for the cost model.
+        counts versions examined, for the cost model; ``hits`` counts
+        visibility-cache hits, which scan nothing.
         """
         slist = self._versions.get(key)
+        if not self.cache_enabled:
+            return self._walk_versions(key, slist, read_state, dag, scanned)
+        cache = self._vis_cache
+        epoch = dag.destructive_gen
+        if epoch != self._vis_epoch or len(cache) > _VIS_CACHE_MAX:
+            dropped = len(cache)
+            if dropped:
+                cache.clear()
+                self.vis_invalidations += dropped
+                m = _met.DEFAULT
+                if m.enabled:
+                    if self._hot_registry is not m:
+                        self._hot_metrics(m)
+                    self._hot_vis_inval.inc(dropped)
+            self._vis_epoch = epoch
+        ckey = (key, read_state.path_mask)
+        entry = cache.get(ckey)
+        if entry is not None:
+            cid = entry[0]
+            rid = read_state.id
+            valid = rid == cid
+            if not valid and rid > cid:
+                # Branch-monotone ids: when nothing newer than the
+                # entry's walk exists for this key, the cached winner is
+                # still the first visible version from ``read_state``.
+                newest = slist.first_key() if slist is not None else None
+                if newest is None or newest <= cid:
+                    entry[0] = rid
+                    valid = True
+            if valid:
+                self.vis_hits += 1
+                if hits is not None:
+                    hits[0] += 1
+                m = _met.DEFAULT
+                if m.enabled:
+                    if self._hot_registry is not m:
+                        self._hot_metrics(m)
+                    self._hot_vis_hit.inc()
+                return entry[1]
+        result = self._walk_versions(key, slist, read_state, dag, scanned)
+        cache[ckey] = [read_state.id, result]
+        self.vis_misses += 1
+        m = _met.DEFAULT
+        if m.enabled:
+            if self._hot_registry is not m:
+                self._hot_metrics(m)
+            self._hot_vis_miss.inc()
+        return result
+
+    def _walk_versions(
+        self,
+        key: Any,
+        slist: Optional[SkipList],
+        read_state: State,
+        dag: StateDAG,
+        scanned: Optional[List[int]],
+    ) -> Optional[Tuple[StateId, Any]]:
+        """The uncached newest-first walk (module docstring)."""
         if slist is None:
             return None
         for state_id in slist.keys():
@@ -125,6 +242,7 @@ class VersionedRecordStore:
         read_states: List[State],
         dag: StateDAG,
         scanned: Optional[List[int]] = None,
+        hits: Optional[List[int]] = None,
     ) -> List[Tuple[StateId, Any]]:
         """Maximal visible versions of ``key`` across several branches.
 
@@ -134,17 +252,21 @@ class VersionedRecordStore:
         """
         per_branch: Dict[StateId, Any] = {}
         for state in read_states:
-            hit = self.read_visible(key, state, dag, scanned)
+            hit = self.read_visible(key, state, dag, scanned, hits)
             if hit is not None:
                 per_branch.setdefault(hit[0], hit[1])
         if len(per_branch) <= 1:
             return list(per_branch.items())
         candidates = []
         ids = list(per_branch)
+        # Resolve each candidate id exactly once: the promotion-chain
+        # walk inside resolve() is not free, and the supersession loop
+        # below otherwise redoes it O(n^2) times.
+        resolved = {sid: dag.resolve(sid) for sid in ids}
         for sid in ids:
-            x = dag.resolve(sid)
+            x = resolved[sid]
             superseded = any(
-                sid != other and dag.descendant_check(x, dag.resolve(other))
+                sid != other and dag.descendant_check(x, resolved[other])
                 for other in ids
             )
             if not superseded:
@@ -200,6 +322,10 @@ class VersionedRecordStore:
                 for live_id, _original in rebuilt:
                     fresh.insert(live_id, None)
                 self._versions[key] = fresh
+        if promoted or dropped:
+            # Version lists were rewritten under existing ids: cached
+            # winners may now point at promoted/pruned records.
+            dag.mark_destructive()
         return promoted, dropped
 
     def items_at(self, state: State, dag: StateDAG) -> Iterator[Tuple[Any, Any]]:

@@ -370,6 +370,19 @@ class MetricsRegistry:
     def get(self, name: str):
         return self._metrics.get(name)
 
+    def counter_value(self, name: str, default: int = 0) -> int:
+        """Current value of counter ``name``; ``default`` when absent.
+
+        Read-side convenience for consumers summarizing related
+        counters (e.g. ``tardis top`` computing cache hit rates from
+        ``tardis_*_cache_hit_total`` / ``_miss_total``) without
+        creating the metric as a side effect.
+        """
+        metric = self._metrics.get(name)
+        if metric is None or not isinstance(metric, Counter):
+            return default
+        return metric.value
+
     def names(self) -> List[str]:
         return sorted(self._metrics)
 

@@ -37,15 +37,18 @@ class ShardedRecordStore:
         btree_degree: int = 16,
         seed: Optional[int] = 0,
         shard_of=None,
+        cache: bool = True,
     ):
         if n_shards < 1:
             raise ValueError("need at least one shard")
         self.n_shards = n_shards
         self._shard_of = shard_of or default_shard_of
+        self.cache_enabled = cache
         self.shards: List[VersionedRecordStore] = [
             VersionedRecordStore(
                 btree_degree=btree_degree,
                 seed=None if seed is None else seed + 1000 * i,
+                cache=cache,
             )
             for i in range(n_shards)
         ]
@@ -66,11 +69,27 @@ class ShardedRecordStore:
     def write(self, key: Any, state_id, value: Any) -> None:
         self._shard(key).write(key, state_id, value)
 
-    def read_visible(self, key, read_state: State, dag: StateDAG, scanned=None):
-        return self._shard(key).read_visible(key, read_state, dag, scanned)
+    def read_visible(
+        self, key, read_state: State, dag: StateDAG, scanned=None, hits=None
+    ):
+        return self._shard(key).read_visible(key, read_state, dag, scanned, hits)
 
-    def read_candidates(self, key, read_states, dag: StateDAG, scanned=None):
-        return self._shard(key).read_candidates(key, read_states, dag, scanned)
+    def read_candidates(
+        self, key, read_states, dag: StateDAG, scanned=None, hits=None
+    ):
+        return self._shard(key).read_candidates(
+            key, read_states, dag, scanned, hits
+        )
+
+    def cache_info(self):
+        """Aggregate visibility-cache stats across all shards."""
+        totals = {"enabled": self.cache_enabled, "size": 0, "hits": 0,
+                  "misses": 0, "invalidations": 0}
+        for shard in self.shards:
+            info = shard.cache_info()
+            for field in ("size", "hits", "misses", "invalidations"):
+                totals[field] += info[field]
+        return totals
 
     def promote_and_prune(self, dag: StateDAG) -> Tuple[int, int]:
         promoted = dropped = 0
@@ -149,6 +168,7 @@ class PartitionedStore(TardisStore):
             btree_degree=btree_degree,
             seed=seed,
             shard_of=shard_of,
+            cache=self.read_cache,
         )
         self.pipeline.versions = self.versions
 

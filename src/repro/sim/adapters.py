@@ -123,10 +123,11 @@ class TardisAdapter(SystemAdapter):
         costs: Optional[CostModel] = None,
         merge_resolver=None,
         engine: Any = None,
+        read_cache: bool = True,
     ):
         super().__init__(costs)
         if store is None:
-            store = TardisStore("sim", engine=engine)
+            store = TardisStore("sim", engine=engine, read_cache=read_cache)
         self.store = store
         self.begin_constraint = begin_constraint or AncestorConstraint()
         if end_constraint is not None:
@@ -166,22 +167,32 @@ class TardisAdapter(SystemAdapter):
         txn = self.store.begin(
             self.begin_constraint, session=session, read_only=read_only
         )
+        # A begin-cache hit replaces the leaf BFS (begin_visits is 0)
+        # with one memo probe + structural revalidation.
         cost = (
             self.costs.txn_overhead
             + self.costs.begin_base
             + txn.trace.begin_visits * self.costs.dag_visit
+            + (self.costs.cache_probe if txn.trace.begin_cached else 0.0)
         )
         return txn, cost
 
     def read(self, txn: Transaction, key: Any, will_write: bool = False) -> OpResult:
-        before = txn.trace.versions_scanned
+        trace = txn.trace
+        before_scanned = trace.versions_scanned
+        before_hits = trace.vis_hits
         value = txn.get(key, default=None)
-        scanned = txn.trace.versions_scanned - before
-        cost = (
-            self.costs.kvm_lookup
-            + scanned * self.costs.version_check
-            + self.costs.btree_access
-        )
+        if trace.vis_hits != before_hits:
+            # Visibility-cache hit: no version walk, no B-tree access —
+            # the cached (state_id, value) pair answers the read.
+            cost = self.costs.kvm_lookup + self.costs.cache_probe
+        else:
+            scanned = trace.versions_scanned - before_scanned
+            cost = (
+                self.costs.kvm_lookup
+                + scanned * self.costs.version_check
+                + self.costs.btree_access
+            )
         return OpResult("ok", value=value, cost=cost)
 
     def write(self, txn: Transaction, key: Any, value: Any) -> OpResult:

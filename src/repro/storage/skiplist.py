@@ -125,6 +125,16 @@ class SkipList:
             raise KeyError("skip list is empty")
         return node.key, node.value
 
+    def first_key(self, default: Any = None) -> Any:
+        """The front key without unpacking, ``default`` when empty.
+
+        O(1); for a ``reverse=True`` version list this is the newest
+        version's state id, which the visibility cache compares against
+        to validate an entry without walking the list.
+        """
+        node = self._head.forward[0]
+        return default if node is None else node.key
+
     def items(self) -> Iterator[Tuple[Any, Any]]:
         node = self._head.forward[0]
         while node is not None:

@@ -195,6 +195,30 @@ def cmd_metrics(args) -> int:
                 len(store.gc.ceilings),
             )
         )
+        print()
+        print("-- read-path caches " + "-" * 40)
+
+        def hit_rate(prefix):
+            hits = registry.counter_value("%s_hit_total" % prefix)
+            misses = registry.counter_value("%s_miss_total" % prefix)
+            rate = 100.0 * hits / max(hits + misses, 1)
+            return hits, misses, rate
+
+        begin_hits, begin_misses, begin_rate = hit_rate("tardis_begin_cache")
+        vis_hits, vis_misses, vis_rate = hit_rate("tardis_vis_cache")
+        print(
+            "begin: %5.1f%% (%d/%d)  visibility: %5.1f%% (%d/%d)  invalidations=%d  generation=%d"
+            % (
+                begin_rate,
+                begin_hits,
+                begin_hits + begin_misses,
+                vis_rate,
+                vis_hits,
+                vis_hits + vis_misses,
+                registry.counter_value("tardis_vis_cache_invalidations_total"),
+                store.dag.generation,
+            )
+        )
 
     print()
     print("-- metrics " + "-" * 49)

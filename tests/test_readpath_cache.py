@@ -1,0 +1,354 @@
+"""Read-path caching: equivalence with the cold paths and invalidation.
+
+The generation-stamped caches (docs/internals.md §10) are pure
+memoization — a cached store must be observationally identical to one
+built with ``read_cache=False``. These tests drive both arms through
+identical histories (including forks, merges, GC, and record promotion)
+and assert bit-identical reads, begin states, and conflict-write sets,
+then pin down each invalidation edge individually.
+"""
+
+import random
+
+import pytest
+
+from repro import TardisStore
+from repro.core.constraints import AncestorConstraint
+from repro.errors import TransactionAborted
+
+
+def fork_pair(store, a, b, n_rounds=1):
+    """Commit read-write conflicting pairs so branch-on-conflict forks.
+
+    Both transactions read *and* write ``base`` so the serializability
+    ripple cannot order them — each round deepens both branches.
+    """
+    for i in range(n_rounds):
+        t1 = store.begin(session=a)
+        t2 = store.begin(session=b)
+        t1.put("base", t1.get("base", default=0) + 1)
+        t1.put("a%d" % i, i)
+        t2.put("base", t2.get("base", default=0) + 10)
+        t2.put("b%d" % i, i)
+        t1.commit()
+        t2.commit()
+
+
+class TestCachedUncachedEquivalence:
+    """Fuzz: one deterministic schedule, two stores, identical results."""
+
+    KEYS = ["base", "k0", "k1", "k2", "k3", "k4"]
+
+    def drive(self, store, rng):
+        """Replay a randomized history; return every observable."""
+        sessions = [store.session("s%d" % i) for i in range(3)]
+        observed = []
+        for step in range(120):
+            op = rng.random()
+            sess = sessions[rng.randrange(len(sessions))]
+            if op < 0.20:
+                # Two overlapping transactions read-write conflicting on
+                # ``base``: branch-on-conflict must fork.
+                other = sessions[(sessions.index(sess) + 1) % len(sessions)]
+                t1 = store.begin(session=sess)
+                t2 = store.begin(session=other)
+                t1.put("base", t1.get("base", default=0) + 1)
+                t2.put("base", t2.get("base", default=0) + 10)
+                observed.append(("pair", t1.commit(), t2.commit()))
+            elif op < 0.70:
+                txn = store.begin(session=sess)
+                observed.append(("begin", txn.read_state.id))
+                for _ in range(rng.randrange(1, 4)):
+                    key = self.KEYS[rng.randrange(len(self.KEYS))]
+                    if rng.random() < 0.5 or key == "base":
+                        observed.append(("r", key, txn.get(key, default=None)))
+                    else:
+                        txn.put(key, (step, key))
+                # Conflicting read-write pairs on ``base`` force forks.
+                txn.put("base", txn.get("base", default=0) + 1)
+                try:
+                    observed.append(("commit", txn.commit()))
+                except TransactionAborted:
+                    observed.append(("abort",))
+            elif op < 0.85 and len(store.dag.leaves()) > 1:
+                merge = store.begin_merge(session=sess)
+                conflicts = merge.find_conflict_writes()
+                observed.append(("conflicts", tuple(conflicts)))
+                for key in conflicts:
+                    values = merge.get_all(key)
+                    merge.put(key, max(values, key=repr))
+                observed.append(("merge", merge.commit()))
+            else:
+                for s in sessions:
+                    s.place_ceiling()
+                stats = store.collect_garbage(
+                    flush_promotions=rng.random() < 0.3
+                )
+                observed.append(
+                    ("gc", stats.states_removed, stats.records_promoted)
+                )
+        # Final state: every leaf and every visible value per leaf.
+        for leaf in sorted(store.dag.leaves(), key=lambda s: s.id):
+            view = tuple(
+                store.versions.read_visible(key, leaf, store.dag)
+                for key in self.KEYS
+            )
+            observed.append(("leaf", leaf.id, view))
+        return observed
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_fuzz_bit_identical(self, seed):
+        cached = TardisStore("site")
+        cold = TardisStore("site", read_cache=False)
+        got_cached = self.drive(cached, random.Random(seed))
+        got_cold = self.drive(cold, random.Random(seed))
+        assert got_cached == got_cold
+        # The schedule must actually exercise the caches for the
+        # equivalence to mean anything.
+        stats = cached.cache_stats()
+        assert stats["begin_hits"] + stats["vis_hits"] > 0
+        assert cached.metrics.forks > 0
+
+    def test_conflict_write_sets_match(self):
+        """WriteSetIndex vs the legacy states_between walk, repeatedly."""
+        cached = TardisStore("site")
+        cold = TardisStore("site", read_cache=False)
+        for store in (cached, cold):
+            a, b = store.session("a"), store.session("b")
+            with store.begin(session=a) as t:
+                t.put("base", 0)
+            fork_pair(store, a, b, n_rounds=3)
+        m1 = cached.begin_merge(session=cached.session("a"))
+        m2 = cold.begin_merge(session=cold.session("a"))
+        first = m1.find_conflict_writes()
+        assert first == m2.find_conflict_writes()
+        assert "base" in first
+        # Second query is answered from the memo, identically.
+        assert m1.find_conflict_writes() == first
+        assert cached.cache_stats()["writeset_hits"] >= 2
+        m1.abort()
+        m2.abort()
+        # A commit extending one branch tops the memo up incrementally:
+        # the next query re-walks nothing.
+        t = cached.begin(session=cached.session("a"))
+        t.put("extra", 1)
+        t.commit()
+        misses_before = cached.cache_stats()["writeset_misses"]
+        m3 = cached.begin_merge(session=cached.session("a"))
+        m4 = cold.begin_merge(session=cold.session("a"))
+        t2 = cold.begin(session=cold.session("a"))
+        t2.put("extra", 1)
+        t2.commit()
+        m4.abort()
+        m4 = cold.begin_merge(session=cold.session("a"))
+        assert m3.find_conflict_writes() == m4.find_conflict_writes()
+        assert cached.cache_stats()["writeset_misses"] == misses_before
+        m3.abort()
+        m4.abort()
+
+
+class TestGenerationBumps:
+    """Every mutation class must move the right generation counter."""
+
+    def test_commit_bumps_generation(self):
+        store = TardisStore("g")
+        before = store.dag.generation
+        with store.begin() as t:
+            t.put("x", 1)
+        assert store.dag.generation > before
+        # Plain commits are append-only: no destructive move.
+        assert store.dag.destructive_gen < store.dag.generation
+
+    def test_splice_out_marks_destructive(self):
+        store = TardisStore("g")
+        sess = store.session("a")
+        for i in range(5):
+            t = store.begin(session=sess)
+            t.put("x", i)
+            t.commit()
+        sess.place_ceiling()
+        destructive_before = store.dag.destructive_gen
+        stats = store.collect_garbage()
+        assert stats.states_removed > 0
+        assert store.dag.destructive_gen > destructive_before
+
+    def test_record_promotion_marks_destructive(self):
+        # promote_and_prune rewrites version lists even when invoked
+        # directly, so it must flag the move itself.
+        store = TardisStore("g")
+        sess = store.session("a")
+        for i in range(4):
+            t = store.begin(session=sess)
+            t.put("x", i)
+            t.commit()
+        sess.place_ceiling()
+        store.collect_garbage()
+        assert store.dag.destructive_gen == store.dag.generation
+
+    def test_mark_pass_alone_bumps_generation(self):
+        # Marking changes find_read_state results without reshaping the
+        # DAG: generation must move (begin caches revalidate), but the
+        # move need not be destructive when nothing was spliced.
+        store = TardisStore("g")
+        a, b = store.session("a"), store.session("b")
+        with store.begin(session=a) as t:
+            t.put("base", 0)
+        fork_pair(store, a, b)
+        reader = store.begin(session=a)  # pins its read state
+        a.place_ceiling()
+        b.place_ceiling()
+        before = store.dag.generation
+        stats = store.collect_garbage()
+        assert stats.marked > 0
+        assert store.dag.generation > before
+        reader.abort()
+
+    def test_group_commit_flush_keeps_generation_moving(self, tmp_path):
+        store = TardisStore(
+            "g",
+            wal_path=str(tmp_path / "wal.log"),
+            wal_sync=False,
+            group_commit=3,
+        )
+        generations = []
+        for i in range(7):
+            with store.begin() as t:
+                t.put("k%d" % i, i)
+            generations.append(store.dag.generation)
+        # Strictly monotone across the batch boundaries too.
+        assert generations == sorted(set(generations))
+        store.close()
+
+
+class TestBeginCache:
+    def test_hit_after_abort(self):
+        store = TardisStore("b")
+        sess = store.session("a")
+        with store.begin(session=sess) as t:
+            t.put("x", 1)
+        t1 = store.begin(session=sess)
+        state_id = t1.read_state.id
+        t1.abort()
+        hits_before = store.metrics.begin_cache_hits
+        t2 = store.begin(session=sess)
+        assert t2.read_state.id == state_id
+        assert store.metrics.begin_cache_hits == hits_before + 1
+        t2.abort()
+
+    def test_miss_after_new_leaf(self):
+        store = TardisStore("b")
+        sess = store.session("a")
+        with store.begin(session=sess) as t:
+            t.put("x", 1)
+        store.begin(session=sess).abort()  # populate the cache
+        with store.begin(session=sess) as t:
+            t.put("x", 2)  # new leaf supersedes the cached one
+        misses_before = store.metrics.begin_cache_misses
+        t = store.begin(session=sess)
+        assert t.read_state.id == sess.last_commit_id
+        assert store.metrics.begin_cache_misses == misses_before + 1
+        t.abort()
+
+    def test_marked_leaf_never_served_from_cache(self):
+        # GC marking must invalidate cached begin states even though the
+        # DAG's shape is untouched.
+        store = TardisStore("b")
+        a, b = store.session("a"), store.session("b")
+        with store.begin(session=a) as t:
+            t.put("base", 0)
+        fork_pair(store, a, b)
+        store.begin(session=a).abort()  # cache a's branch leaf
+        # a commits again, then promises never to read below it: the
+        # cached leaf becomes marked.
+        with store.begin(session=a) as t:
+            t.put("base", t.get("base") + 1)
+        a.place_ceiling()
+        b.place_ceiling()
+        store.collect_garbage()
+        t = store.begin(session=a)
+        assert not t.read_state.marked
+        t.abort()
+
+    def test_disabled_store_counts_nothing(self):
+        store = TardisStore("b", read_cache=False)
+        with store.begin() as t:
+            t.put("x", 1)
+        store.begin().abort()
+        store.begin().abort()
+        assert store.metrics.begin_cache_hits == 0
+        assert store.metrics.begin_cache_misses == 0
+
+
+class TestVisibilityCache:
+    def test_hits_on_stable_branch(self):
+        store = TardisStore("v")
+        with store.begin() as t:
+            t.put("x", "value")
+        for _ in range(3):
+            t = store.begin()
+            assert t.get("x") == "value"
+            t.abort()
+        info = store.versions.cache_info()
+        assert info["hits"] >= 2
+        assert info["misses"] >= 1
+
+    def test_write_to_key_forces_rewalk(self):
+        store = TardisStore("v")
+        with store.begin() as t:
+            t.put("x", 1)
+        store.begin().abort() and None  # warm
+        t = store.begin()
+        t.get("x")
+        t.abort()
+        with store.begin() as t:
+            t.put("x", 2)
+        t = store.begin()
+        # The cached entry is for an older read state and the key has a
+        # newer version: the walk must run again and see the new value.
+        assert t.get("x") == 2
+        t.abort()
+
+    def test_destructive_gc_invalidates(self):
+        store = TardisStore("v")
+        sess = store.session("a")
+        for i in range(5):
+            t = store.begin(session=sess)
+            t.put("x", i)
+            t.commit()
+        t = store.begin(session=sess)
+        assert t.get("x") == 4
+        t.abort()
+        assert store.versions.cache_info()["size"] > 0
+        sess.place_ceiling()
+        store.collect_garbage()
+        t = store.begin(session=sess)
+        assert t.get("x") == 4  # correct after promotion rewrote versions
+        t.abort()
+        assert store.versions.cache_info()["invalidations"] > 0
+
+
+class TestSessionAutoNaming:
+    def test_unique_names_and_registration(self):
+        store = TardisStore("s")
+        s1 = store.session()
+        s2 = store.session()
+        assert s1.name != s2.name
+        assert store.session(s1.name) is s1
+
+    def test_concurrent_auto_naming(self):
+        import threading
+
+        store = TardisStore("s")
+        out = []
+
+        def grab():
+            for _ in range(50):
+                out.append(store.session())
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        names = [s.name for s in out]
+        assert len(set(names)) == len(names) == 200
