@@ -1,0 +1,287 @@
+"""Eraser-style dynamic lockset checker (``pytest -m lockset``).
+
+The static ``lock-discipline`` rule can only see guards spelled
+``self.<lock>``; fields guarded by an *owner's* lock (``_GUARDED_BY``
+values like ``"external:TardisStore._lock"``) or by single-threaded
+execution are invisible to it. This module checks those at runtime with
+the classic lockset algorithm (Savage et al., "Eraser", SOSP 1997):
+
+* every watched field carries a state machine
+  ``VIRGIN -> EXCLUSIVE -> SHARED -> SHARED_MODIFIED``;
+* from the second accessing thread on, the field's *candidate lockset*
+  is intersected with the locks the accessing thread currently holds;
+* a write observed in ``SHARED_MODIFIED`` with an empty candidate
+  lockset is a race — no single lock consistently protected the field.
+
+Unlike a stress test, this reports the race even when the interleaving
+happens to be benign on this run: it needs only *one* unlocked access
+from a second thread, which makes the planted-race test in
+``tests/test_analysis.py`` deterministic.
+
+Usage::
+
+    checker = LocksetChecker()
+    lock = checker.wrap_lock(threading.Lock(), name="store._lock")
+    checker.watch(obj, "counter", "table")
+    ... run threads ...
+    checker.findings  # list of engine.Finding-shaped race reports
+
+or, to intercept every lock created inside a block::
+
+    with checker.install():
+        store = TardisStore()
+        ...
+
+Counters ``tardis_lockset_tracked_total`` / ``tardis_lockset_races_total``
+go to the obs registry so a lockset CI run leaves a machine-readable
+trail alongside the JSON lint report.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import SEVERITY_ERROR, Finding
+from repro.obs import metrics as _met
+
+__all__ = ["LocksetChecker", "TrackedLock", "FieldState"]
+
+# Field state machine (Eraser §3).
+VIRGIN = "virgin"
+EXCLUSIVE = "exclusive"
+SHARED = "shared"
+SHARED_MODIFIED = "shared-modified"
+
+
+class TrackedLock:
+    """Wrap a ``threading.Lock``/``RLock`` so the checker knows, per
+    thread, which locks are held. RLock reentrancy is counted so the
+    lock stays "held" until the outermost release."""
+
+    def __init__(self, inner: Any, checker: "LocksetChecker", name: str):
+        self._inner = inner
+        self._checker = checker
+        self.name = name
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        acquired = self._inner.acquire(*args, **kwargs)
+        if acquired:
+            self._checker._note_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        self._checker._note_release(self)
+        self._inner.release()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+
+class FieldState:
+    """Per-(object, field) lockset bookkeeping."""
+
+    __slots__ = (
+        "state",
+        "first_thread",
+        "lockset",
+        "reported",
+        "writer_threads",
+    )
+
+    def __init__(self) -> None:
+        self.state = VIRGIN
+        self.first_thread: Optional[int] = None
+        self.lockset: Optional[Set[str]] = None  # None until shared
+        self.reported = False
+        self.writer_threads: Set[int] = set()
+
+
+class LocksetChecker:
+    """Collects lock-held sets per thread and runs the lockset state
+    machine over accesses reported by watched attributes."""
+
+    def __init__(self, registry: Optional[_met.MetricsRegistry] = None):
+        self._registry = registry
+        self._held: Dict[int, List[str]] = {}  # thread id -> lock-name stack
+        self._fields: Dict[Tuple[int, str], FieldState] = {}
+        self._meta: Dict[Tuple[int, str], Tuple[str, str]] = {}
+        self._state_lock = threading.Lock()
+        self.findings: List[Finding] = []
+
+    # -- lock tracking -----------------------------------------------------
+
+    def wrap_lock(self, inner: Any, name: str) -> TrackedLock:
+        return TrackedLock(inner, self, name)
+
+    def _note_acquire(self, lock: TrackedLock) -> None:
+        tid = threading.get_ident()
+        with self._state_lock:
+            self._held.setdefault(tid, []).append(lock.name)
+
+    def _note_release(self, lock: TrackedLock) -> None:
+        tid = threading.get_ident()
+        with self._state_lock:
+            stack = self._held.get(tid, [])
+            # Remove the most recent matching entry (reentrant-safe).
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] == lock.name:
+                    del stack[i]
+                    break
+
+    def held_by_current_thread(self) -> Set[str]:
+        tid = threading.get_ident()
+        with self._state_lock:
+            return set(self._held.get(tid, ()))
+
+    @contextlib.contextmanager
+    def install(self) -> Iterator["LocksetChecker"]:
+        """Monkeypatch ``threading.Lock``/``RLock`` so every lock created
+        inside the block is tracked (named by creation order)."""
+        real_lock, real_rlock = threading.Lock, threading.RLock
+        counter = [0]
+
+        def make(factory: Any, kind: str) -> Any:
+            def _new(*args: Any, **kwargs: Any) -> TrackedLock:
+                counter[0] += 1
+                return self.wrap_lock(
+                    factory(*args, **kwargs), "%s-%d" % (kind, counter[0])
+                )
+
+            return _new
+
+        threading.Lock = make(real_lock, "lock")  # type: ignore[misc]
+        threading.RLock = make(real_rlock, "rlock")  # type: ignore[misc]
+        try:
+            yield self
+        finally:
+            threading.Lock = real_lock  # type: ignore[misc]
+            threading.RLock = real_rlock  # type: ignore[misc]
+
+    # -- field watching ----------------------------------------------------
+
+    def watch(self, obj: Any, *fields: str, label: str = "") -> Any:
+        """Instrument ``obj`` so reads/writes of ``fields`` feed the
+        lockset state machine. Implemented by swapping ``obj.__class__``
+        for a one-off subclass with data descriptors over the fields;
+        instance state stays in ``obj.__dict__`` untouched."""
+        cls = obj.__class__
+        label = label or cls.__name__
+        namespace: Dict[str, Any] = {}
+        for field in fields:
+            namespace[field] = _WatchedAttribute(field, self)
+            key = (id(obj), field)
+            with self._state_lock:
+                self._fields[key] = FieldState()
+                self._meta[key] = (label, field)
+            self._count("tardis_lockset_tracked_total")
+        watched_cls = type("Lockset%s" % cls.__name__, (cls,), namespace)
+        obj.__class__ = watched_cls
+        return obj
+
+    def on_access(self, obj: Any, field: str, is_write: bool) -> None:
+        key = (id(obj), field)
+        held = self.held_by_current_thread()
+        tid = threading.get_ident()
+        with self._state_lock:
+            state = self._fields.get(key)
+            if state is None:  # not watched (shouldn't happen)
+                return
+            self._advance(key, state, tid, held, is_write)
+
+    # The Eraser state machine. Called with _state_lock held.
+    def _advance(
+        self,
+        key: Tuple[int, str],
+        st: FieldState,
+        tid: int,
+        held: Set[str],
+        is_write: bool,
+    ) -> None:
+        if st.state == VIRGIN:
+            st.state = EXCLUSIVE
+            st.first_thread = tid
+            if is_write:
+                st.writer_threads.add(tid)
+            return
+        if st.state == EXCLUSIVE and tid == st.first_thread:
+            if is_write:
+                st.writer_threads.add(tid)
+            return
+        # Second thread (or beyond): start/refine the candidate lockset.
+        if st.lockset is None:
+            st.lockset = set(held)
+        else:
+            st.lockset &= held
+        if is_write:
+            st.writer_threads.add(tid)
+            st.state = SHARED_MODIFIED
+        elif st.state != SHARED_MODIFIED:
+            st.state = SHARED
+        if (
+            st.state == SHARED_MODIFIED
+            and not st.lockset
+            and not st.reported
+        ):
+            st.reported = True
+            label, field = self._meta[key]
+            self.findings.append(
+                Finding(
+                    file="<runtime>",
+                    line=0,
+                    rule="lockset-race",
+                    severity=SEVERITY_ERROR,
+                    message=(
+                        "field %s.%s accessed by %d thread(s) with no "
+                        "consistently-held lock"
+                        % (label, field, len(st.writer_threads) or 2)
+                    ),
+                    hint="guard every access with one common lock, or "
+                    "document the external guard in _GUARDED_BY",
+                )
+            )
+            self._count("tardis_lockset_races_total")
+
+    @property
+    def races(self) -> List[Finding]:
+        return list(self.findings)
+
+    def _count(self, name: str) -> None:
+        registry = self._registry
+        if registry is None and _met.DEFAULT.enabled:
+            registry = _met.DEFAULT
+        if registry is not None:
+            registry.counter(name).inc()
+
+
+class _WatchedAttribute:
+    """Data descriptor routing attribute access through the checker."""
+
+    def __init__(self, field: str, checker: LocksetChecker):
+        self._field = field
+        self._checker = checker
+
+    def __get__(self, obj: Any, objtype: Any = None) -> Any:
+        if obj is None:
+            return self
+        self._checker.on_access(obj, self._field, is_write=False)
+        try:
+            return obj.__dict__[self._field]
+        except KeyError:
+            raise AttributeError(self._field) from None
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        self._checker.on_access(obj, self._field, is_write=True)
+        obj.__dict__[self._field] = value
+
+    def __delete__(self, obj: Any) -> None:
+        self._checker.on_access(obj, self._field, is_write=True)
+        del obj.__dict__[self._field]

@@ -1,0 +1,227 @@
+"""``generation-contract``: every StateDAG mutator must move the generation.
+
+The read-path caches (docs/internals.md §10) are sound only if every
+event that can change what a read observes advances
+``StateDAG.generation`` — and every *destructive* event (one that
+rewrites existing bookkeeping rather than appending) also moves
+``destructive_gen`` via :meth:`StateDAG.mark_destructive`. This rule
+makes the first half of that contract checkable: any ``StateDAG`` method
+that mutates the protected structures
+
+* ``self._states`` / ``self._leaves`` / ``self._promotions``
+  (the DAG's vertex, leaf, and promotion tables),
+* any state's ``path_mask`` (the fork tables the Figure 7 check runs on),
+* the ancestry index's bit universe (``self.ancestry.release_forks``),
+
+must bump the generation (``self.generation += 1``,
+:meth:`bump_generation`, or :meth:`mark_destructive`) on **every exit
+path** that runs after a mutation.
+
+Exit paths are ``return`` statements, ``raise`` statements, and the
+implicit fall-off end of the method. The analysis is source-order
+linear: an exit is flagged when some mutation appears earlier in the
+method and no bump appears between the last such mutation and the exit.
+This approximation is exact for the guard-clauses-then-mutate-then-bump
+shape used throughout the codebase; code that genuinely interleaves
+mutations and early exits should restructure or carry a justified
+``# tardis: ignore[generation-contract]``.
+
+Whether a bump should have been :meth:`mark_destructive` rather than
+:meth:`bump_generation` is a semantic question the static rule does not
+answer; the fuzz suite (tests/test_readpath_cache.py) covers it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.analysis.engine import Finding, Rule, SourceModule
+
+#: classes this contract applies to, by name.
+TARGET_CLASSES = frozenset({"StateDAG"})
+
+#: self-attributes whose mutation requires a generation bump.
+PROTECTED_FIELDS = frozenset({"_states", "_leaves", "_promotions"})
+
+#: attribute stores on *any* object that count as fork-table mutations.
+PROTECTED_ATTRS = frozenset({"path_mask"})
+
+#: ancestry-index calls that rewrite the bit universe.
+ANCESTRY_MUTATORS = frozenset({"release_forks"})
+
+#: generation-advancing calls.
+BUMP_CALLS = frozenset({"bump_generation", "mark_destructive"})
+
+MUTATORS = frozenset(
+    {"add", "append", "clear", "discard", "extend", "insert", "pop",
+     "popitem", "remove", "setdefault", "update"}
+)
+
+
+def _self_attr_root(node: ast.AST) -> Optional[str]:
+    while True:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return node.attr
+            node = node.value
+        else:
+            return None
+
+
+class GenerationContractRule(Rule):
+    id = "generation-contract"
+    description = (
+        "StateDAG methods mutating _states/_leaves/_promotions/fork tables "
+        "must bump generation on every exit path"
+    )
+
+    def check_module(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name in TARGET_CLASSES:
+                for stmt in node.body:
+                    if not isinstance(
+                        stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    if stmt.name == "__init__":
+                        continue
+                    findings.extend(self._check_method(module, node, stmt))
+        return findings
+
+    # -- per-method analysis ----------------------------------------------
+
+    def _check_method(
+        self, module: SourceModule, cls: ast.ClassDef, func: ast.AST
+    ) -> List[Finding]:
+        mutations: List[Tuple[int, str]] = []  # (line, description)
+        bumps: List[int] = []
+        exits: List[Tuple[int, str]] = []  # (line, kind)
+
+        for node in ast.walk(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not func:
+                    continue  # nested defs are separate scopes; skip header
+            mut = self._mutation_of(node)
+            if mut is not None:
+                mutations.append((node.lineno, mut))
+            if self._is_bump(node):
+                bumps.append(node.lineno)
+            if isinstance(node, ast.Return):
+                exits.append((node.lineno, "return"))
+            elif isinstance(node, ast.Raise):
+                exits.append((node.lineno, "raise"))
+
+        if not mutations:
+            return []
+
+        body = getattr(func, "body", [])
+        last_line = max(
+            (n.lineno for n in ast.walk(func) if hasattr(n, "lineno")),
+            default=func.lineno,
+        )
+        # Implicit fall-off end: only when the last top-level statement is
+        # not itself a return/raise.
+        if body and not isinstance(body[-1], (ast.Return, ast.Raise)):
+            exits.append((last_line + 1, "end of method"))
+
+        findings: List[Finding] = []
+        for exit_line, kind in exits:
+            preceding = [(ln, desc) for ln, desc in mutations if ln < exit_line]
+            if not preceding:
+                continue  # guard-clause exit before any mutation
+            last_mutation = max(ln for ln, _ in preceding)
+            if any(last_mutation <= bump <= exit_line for bump in bumps):
+                continue
+            desc = next(d for ln, d in preceding if ln == last_mutation)
+            report_line = min(exit_line, last_line)
+            findings.append(
+                Finding(
+                    file=module.relpath,
+                    line=report_line,
+                    rule=self.id,
+                    severity="error",
+                    message=(
+                        "%s.%s mutates %s (line %d) but the %s at line %d is "
+                        "not preceded by a generation bump"
+                        % (
+                            cls.name,
+                            getattr(func, "name", "?"),
+                            desc,
+                            last_mutation,
+                            kind,
+                            report_line,
+                        )
+                    ),
+                    hint="call self.bump_generation() (append-only events) or "
+                    "self.mark_destructive() (rewrites) before this exit",
+                )
+            )
+        return findings
+
+    # -- node classification ----------------------------------------------
+
+    def _mutation_of(self, node: ast.AST) -> Optional[str]:
+        """A description of the protected mutation this node performs, if any."""
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                desc = self._store_target(target)
+                if desc is not None:
+                    return desc
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                desc = self._store_target(target)
+                if desc is not None:
+                    return desc
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in MUTATORS:
+                root = _self_attr_root(node.func.value)
+                if root in PROTECTED_FIELDS:
+                    return "self.%s" % root
+            if attr in ANCESTRY_MUTATORS:
+                root = _self_attr_root(node.func.value)
+                if root == "ancestry":
+                    return "self.ancestry.%s" % attr
+        return None
+
+    def _store_target(self, target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Attribute):
+            if target.attr in PROTECTED_ATTRS:
+                return ".%s" % target.attr
+            if (
+                isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr in PROTECTED_FIELDS
+            ):
+                return "self.%s" % target.attr
+        elif isinstance(target, ast.Subscript):
+            root = _self_attr_root(target)
+            if root in PROTECTED_FIELDS:
+                return "self.%s" % root
+        return None
+
+    def _is_bump(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in BUMP_CALLS:
+                value = node.func.value
+                return isinstance(value, ast.Name) and value.id == "self"
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr in ("generation", "destructive_gen")
+                ):
+                    return True
+        return False

@@ -25,6 +25,7 @@ import random
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.store import ClientSession, TardisStore
+from repro.errors import GarbageCollectedError
 from repro.workload.mixes import TxnSpec
 
 TIMELINE_CAP = 50
@@ -152,7 +153,7 @@ class RetwisApp:
         for session in self.store.sessions():
             try:
                 anchor = session.last_commit_state()
-            except Exception:
+            except GarbageCollectedError:
                 continue
             if self.store.dag.descendant_check(anchor, merged_state):
                 session.last_commit_id = merge.commit_id

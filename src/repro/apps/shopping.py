@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.store import ClientSession, TardisStore
-from repro.errors import KeyNotFound
+from repro.errors import GarbageCollectedError, KeyNotFound
 
 
 def _stock_key(item: str) -> str:
@@ -167,7 +167,7 @@ class GameStore:
         for session in store.sessions():
             try:
                 anchor = session.last_commit_state()
-            except Exception:
+            except GarbageCollectedError:
                 continue
             if store.dag.descendant_check(anchor, store.dag.resolve(merge.commit_id)):
                 session.last_commit_id = merge.commit_id

@@ -73,6 +73,16 @@ class LockingTransaction:
 class TwoPhaseLockingStore:
     """Single-version KV store with strict two-phase locking."""
 
+    # Deliberately lock-free: the baseline is driven from the
+    # single-threaded discrete-event loop, so its state needs no
+    # threading.Lock. The annotation documents that assumption; running
+    # it from real threads would trip the dynamic lockset checker.
+    _GUARDED_BY = {
+        "_records": "external:des-loop",
+        "commits": "external:des-loop",
+        "aborts": "external:des-loop",
+    }
+
     def __init__(
         self,
         detect_deadlocks: bool = True,

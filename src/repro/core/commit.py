@@ -88,7 +88,7 @@ class CommitPipeline:
         log_values: bool = True,
         group_commit: int = 0,
         write_index: Any = None,
-    ):
+    ) -> None:
         self.dag = dag
         self.versions = versions
         self.wal = wal
@@ -100,7 +100,7 @@ class CommitPipeline:
         self.write_index = write_index
         #: per-store tracer (set via TardisStore.set_tracer); None means
         #: trace contexts are not generated and last_ctx stays None.
-        self.tracer = None
+        self.tracer: Optional[Any] = None
         #: TraceContext of the most recent commit, for the store to stamp
         #: onto its trace events and hand to commit listeners. Read under
         #: the store lock, immediately after commit() returns.

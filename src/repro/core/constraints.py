@@ -77,13 +77,13 @@ class AnyConstraint(Constraint):
     can_begin = True
     can_end = True
 
-    def satisfied_as_read_state(self, state, txn) -> bool:
+    def satisfied_as_read_state(self, state: State, txn: "BaseTransaction") -> bool:
         return True
 
-    def allows_ripple_past(self, state, txn) -> bool:
+    def allows_ripple_past(self, state: State, txn: "BaseTransaction") -> bool:
         return True
 
-    def allows_commit_at(self, state, txn) -> bool:
+    def allows_commit_at(self, state: State, txn: "BaseTransaction") -> bool:
         return True
 
 
@@ -101,10 +101,10 @@ class SerializabilityConstraint(Constraint):
     name = "Serializability"
     can_end = True
 
-    def allows_ripple_past(self, state, txn) -> bool:
+    def allows_ripple_past(self, state: State, txn: "BaseTransaction") -> bool:
         return not (state.write_keys & txn.read_keys)
 
-    def allows_commit_at(self, state, txn) -> bool:
+    def allows_commit_at(self, state: State, txn: "BaseTransaction") -> bool:
         return True
 
 
@@ -118,10 +118,10 @@ class SnapshotIsolationConstraint(Constraint):
     name = "SnapshotIsolation"
     can_end = True
 
-    def allows_ripple_past(self, state, txn) -> bool:
+    def allows_ripple_past(self, state: State, txn: "BaseTransaction") -> bool:
         return not (state.write_keys & txn.write_keys)
 
-    def allows_commit_at(self, state, txn) -> bool:
+    def allows_commit_at(self, state: State, txn: "BaseTransaction") -> bool:
         return True
 
 
@@ -136,13 +136,13 @@ class ReadCommittedConstraint(Constraint):
     can_begin = True
     can_end = True
 
-    def satisfied_as_read_state(self, state, txn) -> bool:
+    def satisfied_as_read_state(self, state: State, txn: "BaseTransaction") -> bool:
         return True
 
-    def allows_ripple_past(self, state, txn) -> bool:
+    def allows_ripple_past(self, state: State, txn: "BaseTransaction") -> bool:
         return True
 
-    def allows_commit_at(self, state, txn) -> bool:
+    def allows_commit_at(self, state: State, txn: "BaseTransaction") -> bool:
         return True
 
 
@@ -157,13 +157,13 @@ class NoBranchingConstraint(Constraint):
     can_begin = True
     can_end = True
 
-    def satisfied_as_read_state(self, state, txn) -> bool:
+    def satisfied_as_read_state(self, state: State, txn: "BaseTransaction") -> bool:
         return state.is_leaf
 
-    def allows_ripple_past(self, state, txn) -> bool:
+    def allows_ripple_past(self, state: State, txn: "BaseTransaction") -> bool:
         return True
 
-    def allows_commit_at(self, state, txn) -> bool:
+    def allows_commit_at(self, state: State, txn: "BaseTransaction") -> bool:
         return state.is_leaf
 
 
@@ -179,7 +179,7 @@ class KBranchingConstraint(Constraint):
     can_begin = True
     can_end = True
 
-    def __init__(self, k: int):
+    def __init__(self, k: int) -> None:
         if k < 2:
             raise ValueError("k must be >= 2")
         self.k = k
@@ -188,13 +188,13 @@ class KBranchingConstraint(Constraint):
     def _ok(self, state: State) -> bool:
         return len(state.children) < self.k - 1
 
-    def satisfied_as_read_state(self, state, txn) -> bool:
+    def satisfied_as_read_state(self, state: State, txn: "BaseTransaction") -> bool:
         return self._ok(state)
 
-    def allows_ripple_past(self, state, txn) -> bool:
+    def allows_ripple_past(self, state: State, txn: "BaseTransaction") -> bool:
         return True
 
-    def allows_commit_at(self, state, txn) -> bool:
+    def allows_commit_at(self, state: State, txn: "BaseTransaction") -> bool:
         return self._ok(state)
 
 
@@ -208,7 +208,7 @@ class ParentConstraint(Constraint):
     name = "Parent"
     can_begin = True
 
-    def satisfied_as_read_state(self, state, txn) -> bool:
+    def satisfied_as_read_state(self, state: State, txn: "BaseTransaction") -> bool:
         return state.id == txn.session.last_commit_id
 
 
@@ -222,7 +222,7 @@ class AncestorConstraint(Constraint):
     name = "Ancestor"
     can_begin = True
 
-    def satisfied_as_read_state(self, state, txn) -> bool:
+    def satisfied_as_read_state(self, state: State, txn: "BaseTransaction") -> bool:
         anchor = txn.session.last_commit_state()
         return txn.dag.descendant_check(anchor, state)
 
@@ -240,21 +240,21 @@ class StateIdConstraint(Constraint):
     can_begin = True
     can_end = True
 
-    def __init__(self, state_ids: Iterable[StateId]):
+    def __init__(self, state_ids: Iterable[StateId]) -> None:
         self.state_ids: Tuple[StateId, ...] = tuple(state_ids)
 
-    def satisfied_as_read_state(self, state, txn) -> bool:
+    def satisfied_as_read_state(self, state: State, txn: "BaseTransaction") -> bool:
         return state.id in self.state_ids
 
-    def allows_ripple_past(self, state, txn) -> bool:
+    def allows_ripple_past(self, state: State, txn: "BaseTransaction") -> bool:
         return False
 
-    def allows_commit_at(self, state, txn) -> bool:
+    def allows_commit_at(self, state: State, txn: "BaseTransaction") -> bool:
         return state.id in self.state_ids
 
 
 class _Composite(Constraint):
-    def __init__(self, *parts: Constraint):
+    def __init__(self, *parts: Constraint) -> None:
         if len(parts) < 2:
             raise ValueError("composite constraints need >= 2 parts")
         self.parts = parts
@@ -275,13 +275,13 @@ class And(_Composite):
     def name(self) -> str:  # type: ignore[override]
         return "(" + " & ".join(p.name for p in self.parts) + ")"
 
-    def satisfied_as_read_state(self, state, txn) -> bool:
+    def satisfied_as_read_state(self, state: State, txn: "BaseTransaction") -> bool:
         return all(p.satisfied_as_read_state(state, txn) for p in self.parts)
 
-    def allows_ripple_past(self, state, txn) -> bool:
+    def allows_ripple_past(self, state: State, txn: "BaseTransaction") -> bool:
         return all(p.allows_ripple_past(state, txn) for p in self.parts)
 
-    def allows_commit_at(self, state, txn) -> bool:
+    def allows_commit_at(self, state: State, txn: "BaseTransaction") -> bool:
         return all(p.allows_commit_at(state, txn) for p in self.parts)
 
 
@@ -300,13 +300,13 @@ class Or(_Composite):
     def name(self) -> str:  # type: ignore[override]
         return "(" + " | ".join(p.name for p in self.parts) + ")"
 
-    def satisfied_as_read_state(self, state, txn) -> bool:
+    def satisfied_as_read_state(self, state: State, txn: "BaseTransaction") -> bool:
         return any(
             p.can_begin and p.satisfied_as_read_state(state, txn) for p in self.parts
         )
 
-    def allows_ripple_past(self, state, txn) -> bool:
+    def allows_ripple_past(self, state: State, txn: "BaseTransaction") -> bool:
         return any(p.can_end and p.allows_ripple_past(state, txn) for p in self.parts)
 
-    def allows_commit_at(self, state, txn) -> bool:
+    def allows_commit_at(self, state: State, txn: "BaseTransaction") -> bool:
         return any(p.can_end and p.allows_commit_at(state, txn) for p in self.parts)

@@ -51,7 +51,7 @@ class ForkPath:
 
     EMPTY: "ForkPath"
 
-    def __init__(self, points: Iterable[ForkPoint] = ()):
+    def __init__(self, points: Iterable[ForkPoint] = ()) -> None:
         self._points: FrozenSet[ForkPoint] = frozenset(points)
 
     @property

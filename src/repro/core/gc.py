@@ -26,7 +26,7 @@ versions remain.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Set
 
 from repro.core.ids import StateId
 from repro.errors import GarbageCollectedError
@@ -34,6 +34,7 @@ from repro.obs import metrics as _met
 from repro.obs import tracing as _trc
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.state_dag import State, StateDAG
     from repro.core.store import TardisStore
 
 
@@ -56,13 +57,13 @@ class GCStats:
 class GarbageCollector:
     """The garbage collector unit of one TARDiS site (Figure 2)."""
 
-    def __init__(self, store: "TardisStore"):
+    def __init__(self, store: "TardisStore") -> None:
         self._store = store
         self._ceilings: Dict[str, StateId] = {}
         self.cycles = 0
         #: hook used by replicated pessimistic GC: called with the set of
         #: candidate state ids; must return the subset we may collect.
-        self.consent_filter = None
+        self.consent_filter: Optional[Callable[[Set[StateId]], Set[StateId]]] = None
 
     @property
     def ceilings(self) -> Dict[str, StateId]:
@@ -160,7 +161,7 @@ class GarbageCollector:
         stats.marked = sum(1 for s in dag.states() if s.marked)
         return True
 
-    def _strict_ancestors(self, state) -> Set[StateId]:
+    def _strict_ancestors(self, state: "State") -> Set[StateId]:
         seen: Set[StateId] = set()
         stack = list(state.parents)
         while stack:
@@ -223,7 +224,7 @@ class GarbageCollector:
             # mask and their positions retired for reuse (§6.1.3, §6.3).
             stats.fork_entries_scrubbed = dag.retire_forks(dead_forks)
 
-    def _all_promotion_ids(self):
+    def _all_promotion_ids(self) -> Iterator[StateId]:
         dag = self._store.dag
         # Promotion entries still referenced by a record version must
         # survive the flush; everything else can go.
@@ -235,5 +236,5 @@ class GarbageCollector:
                 yield sid
 
 
-def _promotion_keys(dag):
+def _promotion_keys(dag: "StateDAG") -> List[StateId]:
     return list(dag._promotions.keys())

@@ -42,7 +42,7 @@ class IdAllocator:
     seen, exactly like a Lamport clock.
     """
 
-    def __init__(self, site: str):
+    def __init__(self, site: str) -> None:
         if not site:
             raise ValueError("site name must be non-empty")
         self._site = site

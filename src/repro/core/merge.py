@@ -17,7 +17,7 @@ is genuinely conflicted, steering the application to the explicit API.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, TYPE_CHECKING
+from typing import Any, FrozenSet, List, Optional, TYPE_CHECKING
 
 from repro.core.ids import StateId
 from repro.core.state_dag import State
@@ -27,6 +27,7 @@ from repro.obs import metrics as _met
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.constraints import Constraint
+    from repro.core.state_dag import StateDAG
     from repro.core.store import ClientSession, TardisStore
 
 #: write-set index size cap; a full clear keeps memory bounded when
@@ -58,7 +59,7 @@ class WriteSetIndex:
 
     __slots__ = ("_dag", "_memo", "_forks_of", "_epoch", "hits", "misses")
 
-    def __init__(self, dag):
+    def __init__(self, dag: "StateDAG") -> None:
         self._dag = dag
         #: (state_id, fork_id) -> frozenset of write keys since the fork.
         self._memo: dict = {}
@@ -98,7 +99,7 @@ class WriteSetIndex:
             memo[(state.id, fork_id)] = memo[(parent.id, fork_id)] | write_keys
             mine.add(fork_id)
 
-    def writes_since(self, head: State, fork: State):
+    def writes_since(self, head: State, fork: State) -> FrozenSet[Any]:
         """Union of write keys over ``states_between(head, fork)``."""
         self._check_epoch()
         dag = self._dag
@@ -151,7 +152,7 @@ class MergeTransaction(BaseTransaction):
         session: "ClientSession",
         read_states: List[State],
         begin_constraint: "Constraint",
-    ):
+    ) -> None:
         super().__init__(store, session, begin_constraint)
         if not read_states:
             raise ValueError("merge transaction needs at least one read state")

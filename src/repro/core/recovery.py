@@ -31,7 +31,7 @@ from repro.storage.wal import CHECKPOINT, COMMIT, WriteAheadLog
 _MISSING = object()
 
 
-def checkpoint_store(store, snapshot_path: str) -> int:
+def checkpoint_store(store: TardisStore, snapshot_path: str) -> int:
     """Take a non-blocking checkpoint: snapshot + log compaction.
 
     Serializes every DAG state and record version to ``snapshot_path``
@@ -75,8 +75,8 @@ def recover_store(
     wal_path: str,
     snapshot_path: Optional[str] = None,
     record_source: Optional[Callable[[Any, StateId], Any]] = None,
-    store_factory=None,
-    **store_kwargs,
+    store_factory: Optional[Callable[..., Any]] = None,
+    **store_kwargs: Any,
 ) -> Tuple[Any, Dict[str, int]]:
     """Rebuild a store from its checkpoint and commit log.
 
@@ -147,7 +147,7 @@ def missing() -> Any:
     return _MISSING
 
 
-def _load_snapshot(store, snapshot_path: str) -> int:
+def _load_snapshot(store: TardisStore, snapshot_path: str) -> int:
     with open(snapshot_path, "rb") as handle:
         payload = pickle.load(handle)
     dag = store.dag

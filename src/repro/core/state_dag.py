@@ -70,7 +70,7 @@ class State:
         ancestry: AncestryIndex,
         read_keys: FrozenSet = frozenset(),
         write_keys: FrozenSet = frozenset(),
-    ):
+    ) -> None:
         self.id = state_id
         self.parents = parents
         self.children: List[State] = []
@@ -135,7 +135,7 @@ class State:
 class StateDAG:
     """The per-site directed acyclic graph of datastore states."""
 
-    def __init__(self, site: str):
+    def __init__(self, site: str) -> None:
         self.site = site
         self._allocator = IdAllocator(site)
         #: interns fork points to bit positions; owns mask encoding.
@@ -215,10 +215,12 @@ class StateDAG:
             if current not in self._promotions:
                 raise GarbageCollectedError(state_id)
             current = self._promotions[current]
-        # Path-compress the promotion chains we just walked.
+        # Path-compress the promotion chains we just walked. Redirecting
+        # an alias to the same live state is invisible to readers, so no
+        # generation bump is required.
         for sid in seen:
             self._promotions[sid] = current
-        return self._states[current]
+        return self._states[current]  # tardis: ignore[generation-contract]
 
     # -- construction -----------------------------------------------------
 
@@ -287,7 +289,9 @@ class StateDAG:
             self.retro_updates += 1
         m = _met.DEFAULT
         if m.enabled:
-            m.inc("tardis_dag_retro_updates_total", len(visited))
+            # Only create_state calls this, and it bumps the generation
+            # after the retro pass; bumping here too would double-count.
+            m.inc("tardis_dag_retro_updates_total", len(visited))  # tardis: ignore[generation-contract]
 
     # -- visibility (Figure 7) ---------------------------------------------
 
@@ -506,9 +510,18 @@ class StateDAG:
         return len(self._promotions)
 
     def forget_promotions(self, ids: Iterable[StateId]) -> None:
-        """Drop promotion entries once no record references them (§6.3)."""
+        """Drop promotion entries once no record references them (§6.3).
+
+        Dropping an entry is destructive: a cached ``resolve`` that
+        relied on it would now raise, so cached reads keyed on the old
+        ``destructive_gen`` must be invalidated.
+        """
+        dropped = 0
         for sid in ids:
-            self._promotions.pop(sid, None)
+            if self._promotions.pop(sid, None) is not None:
+                dropped += 1
+        if dropped:
+            self.mark_destructive()
 
     # -- invariants (used by property tests) ----------------------------------
 

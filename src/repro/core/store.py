@@ -25,7 +25,7 @@ Typical use::
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.commit import LOCAL, MERGE, REMOTE, CommitPipeline
 from repro.core.constraints import (
@@ -35,7 +35,7 @@ from repro.core.constraints import (
     SerializabilityConstraint,
     StateIdConstraint,
 )
-from repro.core.gc import GarbageCollector
+from repro.core.gc import GarbageCollector, GCStats
 from repro.core.ids import ROOT_ID, StateId
 from repro.core.merge import MergeTransaction, WriteSetIndex
 from repro.core.state_dag import State, StateDAG
@@ -43,6 +43,7 @@ from repro.core.transaction import (
     ABORTED,
     ACTIVE,
     COMMITTED,
+    BaseTransaction,
     OpTrace,
     Transaction,
     TOMBSTONE,
@@ -50,7 +51,9 @@ from repro.core.transaction import (
 )
 from repro.core.versions import VersionedRecordStore
 from repro.obs import metrics as _met
+from repro.obs.metrics import MetricsRegistry
 from repro.obs import tracing as _trc
+from repro.obs.tracing import Tracer
 from repro.errors import (
     BeginError,
     GarbageCollectedError,
@@ -68,7 +71,7 @@ class ClientSession:
     it (§5.1, Table 1).
     """
 
-    def __init__(self, store: "TardisStore", name: str):
+    def __init__(self, store: "TardisStore", name: str) -> None:
         self._store = store
         self.name = name
         self.last_commit_id: StateId = store.dag.root.id
@@ -118,7 +121,7 @@ class _ConstraintProbe:
 
     __slots__ = ("session", "dag", "read_keys", "write_keys")
 
-    def __init__(self, session: ClientSession, dag: StateDAG):
+    def __init__(self, session: ClientSession, dag: StateDAG) -> None:
         self.session = session
         self.dag = dag
         self.read_keys: frozenset = frozenset()
@@ -127,6 +130,11 @@ class _ConstraintProbe:
 
 class TardisStore:
     """One site of the TARDiS transactional key-value store."""
+
+    _GUARDED_BY = {
+        "_sessions": "self._lock",
+        "_session_counter": "self._lock",
+    }
 
     def __init__(
         self,
@@ -142,7 +150,7 @@ class TardisStore:
         engine: Any = None,
         group_commit: int = 0,
         read_cache: bool = True,
-    ):
+    ) -> None:
         self.site = site
         #: paper defaults: Ancestor begin, Serializability end (§5.1).
         self.default_begin = default_begin or AncestorConstraint()
@@ -189,13 +197,13 @@ class TardisStore:
         #: per-store tracer; None falls back to the module default, so a
         #: cluster can give each site its own ring buffer while
         #: single-store code keeps using ``obs.tracing.DEFAULT``.
-        self.tracer = None
+        self.tracer: Optional[Tracer] = None
         #: per-transaction metric handles, re-resolved when the default
         #: registry changes identity (benchmark harnesses swap it per
         #: run) — the per-call name lookup is measurable at txn rates.
-        self._hot_registry = None
+        self._hot_registry: Optional[MetricsRegistry] = None
 
-    def _hot_metrics(self, m) -> None:
+    def _hot_metrics(self, m: MetricsRegistry) -> None:
         """Resolve the hot-path metric handles against registry ``m``."""
         self._hot_registry = m
         self._hot_begin = m.counter("tardis_txn_begin_total")
@@ -207,12 +215,12 @@ class TardisStore:
         self._hot_begin_cache_hit = m.counter("tardis_begin_cache_hit_total")
         self._hot_begin_cache_miss = m.counter("tardis_begin_cache_miss_total")
 
-    def set_tracer(self, tracer) -> None:
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
         """Give this store (and its commit pipeline) a dedicated tracer."""
         self.tracer = tracer
         self.pipeline.tracer = tracer
 
-    def _tracer(self):
+    def _tracer(self) -> Tracer:
         return self.tracer if self.tracer is not None else _trc.DEFAULT
 
     # -- sessions -----------------------------------------------------------
@@ -242,7 +250,8 @@ class TardisStore:
         DAG above it forever (ceilings are intersected across clients,
         §6.3).
         """
-        self._sessions.pop(name, None)
+        with self._lock:
+            self._sessions.pop(name, None)
         self.gc.clear_ceiling(name)
 
     # -- transaction lifecycle -------------------------------------------------
@@ -341,7 +350,7 @@ class TardisStore:
                 state.pins += 1
         return txn
 
-    def _finish(self, txn, status: str) -> None:
+    def _finish(self, txn: BaseTransaction, status: str) -> None:
         txn.status = status
         for state in _read_states_of(txn):
             if state.pins > 0:
@@ -373,7 +382,9 @@ class TardisStore:
         trace.vis_hits += hits[0]
         return hit
 
-    def _read_candidates(self, key: Any, states: List[State], trace: OpTrace):
+    def _read_candidates(
+        self, key: Any, states: List[State], trace: OpTrace
+    ) -> List[Tuple[State, StateId, Any]]:
         scanned = [0]
         hits = [0]
         candidates = self.versions.read_candidates(
@@ -582,7 +593,7 @@ class TardisStore:
 
     # -- replication hooks (§6.4) -----------------------------------------------
 
-    def add_commit_listener(self, listener) -> None:
+    def add_commit_listener(self, listener: Callable[..., None]) -> None:
         """``listener(state, writes, ctx)`` is called after each local commit.
 
         ``ctx`` is the commit's :class:`~repro.obs.context.TraceContext`
@@ -590,7 +601,9 @@ class TardisStore:
         """
         self._commit_listeners.append(listener)
 
-    def _notify_commit(self, state: State, writes: Dict[Any, Any], ctx=None) -> None:
+    def _notify_commit(
+        self, state: State, writes: Dict[Any, Any], ctx: Optional[Any] = None
+    ) -> None:
         for listener in self._commit_listeners:
             listener(state, writes, ctx)
 
@@ -601,7 +614,7 @@ class TardisStore:
         writes: Dict[Any, Any],
         read_keys: Iterable[Any] = (),
         write_keys: Optional[Iterable[Any]] = None,
-        ctx=None,
+        ctx: Optional[Any] = None,
     ) -> Optional[StateId]:
         """Apply a replicated transaction at its designated state (§6.4).
 
@@ -688,7 +701,7 @@ class TardisStore:
             stats["writeset_entries"] = len(index)
         return stats
 
-    def collect_garbage(self, flush_promotions: bool = False):
+    def collect_garbage(self, flush_promotions: bool = False) -> GCStats:
         """Run one full garbage-collection cycle (§6.3)."""
         return self.gc.collect(flush_promotions=flush_promotions)
 
@@ -704,7 +717,7 @@ class TardisStore:
         )
 
 
-def _read_states_of(txn) -> List[State]:
+def _read_states_of(txn: BaseTransaction) -> List[State]:
     if isinstance(txn, MergeTransaction):
         return txn.read_states
     return [txn.read_state]

@@ -87,7 +87,7 @@ class BaseTransaction:
         session: "ClientSession",
         begin_constraint: "Constraint",
         read_only: bool = False,
-    ):
+    ) -> None:
         self._store = store
         self.session = session
         self.begin_constraint = begin_constraint
@@ -140,7 +140,12 @@ class BaseTransaction:
     def __enter__(self) -> "BaseTransaction":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[Any],
+    ) -> None:
         if self.status == ACTIVE:
             if exc_type is None:
                 self.commit()
@@ -158,7 +163,7 @@ class Transaction(BaseTransaction):
         read_state: State,
         begin_constraint: "Constraint",
         read_only: bool = False,
-    ):
+    ) -> None:
         super().__init__(store, session, begin_constraint, read_only)
         self.read_state = read_state
 

@@ -39,6 +39,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT",
+    "METRIC_NAMES",
+    "SERIES_NAMES",
     "default_registry",
     "set_default_registry",
     "enable",
@@ -51,6 +53,8 @@ class Counter:
 
     kind = "counter"
     __slots__ = ("name", "help", "_value", "_lock")
+
+    _GUARDED_BY = {"_value": "self._lock"}
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
@@ -82,6 +86,8 @@ class Gauge:
     kind = "gauge"
     __slots__ = ("name", "help", "_value", "_lock")
 
+    _GUARDED_BY = {"_value": "self._lock"}
+
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
@@ -93,7 +99,8 @@ class Gauge:
         return self._value
 
     def set(self, value: float) -> None:
-        self._value = value
+        with self._lock:
+            self._value = value
 
     def add(self, delta: float) -> None:
         with self._lock:
@@ -136,6 +143,15 @@ class Histogram:
         "_max",
         "_lock",
     )
+
+    _GUARDED_BY = {
+        "_buckets": "self._lock",
+        "_zero": "self._lock",
+        "_count": "self._lock",
+        "_sum": "self._lock",
+        "_min": "self._lock",
+        "_max": "self._lock",
+    }
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
@@ -332,6 +348,8 @@ class MetricsRegistry:
     ``if registry.enabled:`` to skip argument evaluation entirely.
     """
 
+    _GUARDED_BY = {"_metrics": "self._lock"}
+
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self._metrics: Dict[str, Any] = {}
@@ -453,6 +471,81 @@ class MetricsRegistry:
             self.enabled,
             len(self._metrics),
         )
+
+
+# ---------------------------------------------------------------------------
+# The metric name catalogue.
+#
+# The registry creates metrics on first use, so a typo'd name would
+# silently split a metric in two. Every ``tardis_*`` registry metric the
+# library records must be declared here, and every name declared here
+# must have a producer; ``tardis check`` (rule ``metric-name-drift``)
+# enforces both directions, plus that consumers (CLI, docs, tests) only
+# reference declared names.
+
+#: registry metrics (counters/gauges/histograms), name -> help.
+METRIC_NAMES: Dict[str, str] = {
+    "tardis_begin_cache_hit_total": "begin() served from the begin cache",
+    "tardis_begin_cache_miss_total": "begin() recomputed read states",
+    "tardis_begin_visits": "DAG states visited per begin()",
+    "tardis_branch_count": "current leaf count (gauge)",
+    "tardis_branch_fork_total": "forks created by concurrent commits",
+    "tardis_branch_merge_total": "merge commits",
+    "tardis_commit_ripple_steps": "states rippled past per commit",
+    "tardis_dag_depth": "longest root-to-leaf path (gauge)",
+    "tardis_dag_retro_updates_total": "retroactive path_mask widenings",
+    "tardis_dag_splice_total": "states spliced out of the DAG",
+    "tardis_dag_width": "widest antichain estimate (gauge)",
+    "tardis_gc_cycle_total": "GC cycles run",
+    "tardis_gc_live_records": "records alive after a GC cycle",
+    "tardis_gc_live_states": "states alive after a GC cycle",
+    "tardis_gc_promotion_table": "promotion-table size after GC",
+    "tardis_gc_records_dropped_total": "record versions GC reclaimed",
+    "tardis_gc_records_promoted_total": "record versions GC promoted",
+    "tardis_gc_states_removed_total": "DAG states GC removed",
+    "tardis_lockset_races_total": "races the lockset checker reported",
+    "tardis_lockset_tracked_total": "fields watched by the lockset checker",
+    "tardis_merge_conflict_keys": "conflicting keys per merge",
+    "tardis_merge_parents": "parents per merge commit",
+    "tardis_net_buffered_dropped_total": "buffered messages dropped",
+    "tardis_net_buffered_flushed_total": "buffered messages flushed",
+    "tardis_net_buffered_total": "messages buffered by partitions",
+    "tardis_net_messages_delivered_total": "network messages delivered",
+    "tardis_net_messages_sent_total": "network messages sent",
+    "tardis_repl_apply_total": "replicated commits applied locally",
+    "tardis_repl_cache_total": "replication fetches served from cache",
+    "tardis_repl_drop_total": "replication messages dropped",
+    "tardis_repl_fetch_total": "replication state fetches",
+    "tardis_repl_lag_total": "total cross-site replication lag (gauge)",
+    "tardis_repl_remote_apply_total": "remote commit records applied",
+    "tardis_repl_send_total": "replication messages sent",
+    "tardis_spec_confirm_total": "speculative executions confirmed",
+    "tardis_spec_misspec_total": "misspeculations detected",
+    "tardis_spec_reexec_total": "speculative re-executions",
+    "tardis_spec_submit_total": "speculative submissions",
+    "tardis_trace_dropped_total": "trace events dropped by the ring",
+    "tardis_txn_abort_total": "transactions aborted",
+    "tardis_txn_begin_total": "transactions begun",
+    "tardis_txn_commit_readonly_total": "read-only commit fast paths",
+    "tardis_txn_commit_total": "transactions committed",
+    "tardis_txn_write_keys": "keys written per committing transaction",
+    "tardis_vis_cache_hit_total": "visibility-cache hits",
+    "tardis_vis_cache_invalidations_total": "visibility-cache invalidations",
+    "tardis_vis_cache_miss_total": "visibility-cache misses",
+    "tardis_wal_group_flush_total": "WAL group-commit flushes",
+    "tardis_writeset_index_hit_total": "write-set index hits",
+    "tardis_writeset_index_miss_total": "write-set index misses",
+}
+
+#: windowed-series base names; instances carry an ``@<site>`` suffix.
+SERIES_NAMES: Dict[str, str] = {
+    "tardis_branch_count": "leaves per site over time",
+    "tardis_dag_depth": "DAG depth per site over time",
+    "tardis_dag_width": "DAG width per site over time",
+    "tardis_merge_debt": "branches beyond one pending merge",
+    "tardis_repl_lag": "states committed at src not applied at dst",
+    "tardis_staleness_ms": "time since the site last had a single leaf",
+}
 
 
 #: The library-wide default registry. Disabled until a consumer opts in.

@@ -124,6 +124,11 @@ class Span:
 class Tracer:
     """Span contexts plus a bounded ring buffer of trace events."""
 
+    _GUARDED_BY = {
+        "_events": "self._lock",
+        "dropped": "self._lock",
+    }
+
     def __init__(
         self,
         capacity: int = 4096,

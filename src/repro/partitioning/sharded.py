@@ -31,6 +31,13 @@ def default_shard_of(key: Any, n_shards: int) -> int:
 class ShardedRecordStore:
     """N independent record stores behind the VersionedRecordStore API."""
 
+    # Guarded by the owning TardisStore's ``_lock`` (the store treats
+    # the sharded record store exactly like a flat one); enforced
+    # dynamically by the lockset checker, not the static rule.
+    _GUARDED_BY = {
+        "accesses": "external:TardisStore._lock",
+    }
+
     def __init__(
         self,
         n_shards: int = 4,

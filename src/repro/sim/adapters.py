@@ -32,7 +32,12 @@ from repro.core.constraints import (
 from repro.core.ids import ROOT_ID
 from repro.core.store import TardisStore
 from repro.core.transaction import Transaction
-from repro.errors import DeadlockError, TransactionAborted, ValidationError
+from repro.errors import (
+    DeadlockError,
+    GarbageCollectedError,
+    TransactionAborted,
+    ValidationError,
+)
 from repro.obs.series import dag_extent
 from repro.sim.costs import CostModel
 
@@ -292,7 +297,9 @@ class TardisAdapter(SystemAdapter):
         for session in self.store.sessions():
             try:
                 anchor = session.last_commit_state()
-            except Exception:
+            except GarbageCollectedError:
+                # The session's anchor was collected out from under it;
+                # it re-anchors on its next commit.
                 continue
             if dag.descendant_check(anchor, merge_state):
                 session.last_commit_id = merge_id

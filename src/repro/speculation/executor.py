@@ -57,6 +57,8 @@ class Speculation:
     read_keys: frozenset = frozenset()
     write_keys: frozenset = frozenset()
     executions: int = 1
+    #: the exception that failed the program, when status == "failed".
+    error: Optional[BaseException] = None
 
 
 @dataclass
@@ -108,9 +110,14 @@ class SpeculativeExecutor:
         )
         try:
             spec.result = spec.program(txn)
-        except Exception:
+        except Exception as exc:  # tardis: ignore[bare-except]
+            # API contract (pinned by tests/test_speculation.py): a
+            # program exception fails *this* speculation, future-style,
+            # instead of unwinding the pipeline. The exception is kept
+            # on the speculation rather than swallowed.
             txn.abort()
             spec.status = FAILED
+            spec.error = exc
             return
         spec.read_keys = frozenset(txn.read_keys)
         spec.write_keys = frozenset(txn.writes)

@@ -26,6 +26,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Tuple
 
+from repro.storage.btree import BTree
+from repro.storage.hashstore import HashStore
+
 try:  # Protocol is 3.8+; fall back gracefully for exotic interpreters.
     from typing import Protocol, runtime_checkable
 except ImportError:  # pragma: no cover
@@ -112,14 +115,10 @@ def _looks_like_engine(obj: Any) -> bool:
 
 
 def _make_btree(degree: int = 16, **_: Any):
-    from repro.storage.btree import BTree
-
     return BTree(t=degree)
 
 
 def _make_hash(**_: Any):
-    from repro.storage.hashstore import HashStore
-
     return HashStore()
 
 

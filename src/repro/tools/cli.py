@@ -18,6 +18,9 @@ Commands:
   flight-recorder dump to JSON.
 * ``flight`` — pretty-print a flight-recorder dump produced by the
   divergence monitor (or ``trace --dump``).
+* ``check`` — run the static-analysis rules (lock discipline,
+  generation contract, metric-name drift, hygiene) over the package and
+  exit nonzero on findings; ``--format=json`` is the CI gate's input.
 """
 
 from __future__ import annotations
@@ -25,7 +28,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
+from repro import analysis
 from repro.core.recovery import recover_store
 from repro.core.store import TardisStore
 from repro.obs import MetricsRegistry, Tracer, export
@@ -296,6 +301,30 @@ def cmd_flight(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    if args.list_rules:
+        for cls in analysis.ALL_RULES:
+            print("%-20s %s" % (cls.id, cls.description))
+        return 0
+    try:
+        rules = (
+            analysis.rules_by_id(args.rules.split(","))
+            if args.rules
+            else analysis.default_rules()
+        )
+    except KeyError as exc:
+        valid = ", ".join(cls.id for cls in analysis.ALL_RULES)
+        print("unknown rule %s (valid: %s)" % (exc, valid), file=sys.stderr)
+        return 2
+    src_root = Path(args.root).resolve() if args.root else None
+    report = analysis.check_repo(src_root=src_root, rules=rules)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format())
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.cli",
@@ -359,6 +388,28 @@ def build_parser() -> argparse.ArgumentParser:
     flight.add_argument("dump", help="path to a flight dump JSON")
     flight.add_argument("--events", type=int, default=50, help="trace events to show")
     flight.set_defaults(func=cmd_flight)
+
+    check = sub.add_parser(
+        "check",
+        help="static analysis: lock discipline, generation contract, "
+        "metric drift, hygiene (docs/internals.md §11)",
+    )
+    check.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="json is the machine-readable CI form",
+    )
+    check.add_argument(
+        "--root", default=None,
+        help="package directory to lint (default: the installed repro package)",
+    )
+    check.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids (default: all)",
+    )
+    check.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    check.set_defaults(func=cmd_check)
     return parser
 
 
