@@ -1,0 +1,28 @@
+"""Client libraries for the TARDiS network server.
+
+* :class:`TardisClient` — blocking sockets, mirrors the in-process API.
+* :class:`AsyncTardisClient` — asyncio streams, ``await``-shaped twin.
+
+Both speak the length-prefixed JSON protocol of
+:mod:`repro.server.protocol` (docs/internals.md §12).
+"""
+
+from repro.client.aio import (
+    AsyncClientMergeTransaction,
+    AsyncClientTransaction,
+    AsyncTardisClient,
+)
+from repro.client.client import (
+    ClientMergeTransaction,
+    ClientTransaction,
+    TardisClient,
+)
+
+__all__ = [
+    "AsyncClientMergeTransaction",
+    "AsyncClientTransaction",
+    "AsyncTardisClient",
+    "ClientMergeTransaction",
+    "ClientTransaction",
+    "TardisClient",
+]

@@ -25,7 +25,7 @@ Typical use::
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.commit import LOCAL, MERGE, REMOTE, CommitPipeline
 from repro.core.constraints import (
@@ -71,6 +71,8 @@ class ClientSession:
     it (§5.1, Table 1).
     """
 
+    _GUARDED_BY = {"_active_txns": "external:TardisStore._lock"}
+
     def __init__(self, store: "TardisStore", name: str) -> None:
         self._store = store
         self.name = name
@@ -78,6 +80,10 @@ class ClientSession:
         #: begin-state memoization: constraint -> last chosen read state
         #: (revalidated structurally on every hit; docs/internals.md §10).
         self._begin_cache: Dict[Constraint, State] = {}
+        #: transactions begun against this session and still ACTIVE;
+        #: ``close_session`` aborts them so a disconnected client cannot
+        #: leave read states pinned forever.
+        self._active_txns: Set[BaseTransaction] = set()
 
     def last_commit_state(self) -> State:
         return self._store.dag.resolve(self.last_commit_id)
@@ -243,16 +249,30 @@ class TardisStore:
     def sessions(self) -> List[ClientSession]:
         return list(self._sessions.values())
 
-    def close_session(self, name: str) -> None:
+    def close_session(self, name: str) -> bool:
         """Forget a client session and any ceiling it placed.
 
         An inactive session's old ceiling would otherwise pin the entire
         DAG above it forever (ceilings are intersected across clients,
         §6.3).
+
+        Idempotent: closing an unknown or already-closed session is a
+        no-op, so the network server's disconnect cleanup can race a
+        polite client-side close without crashing. Any transaction still
+        ACTIVE on the session is aborted first (releasing its read-state
+        pins), and the session's begin-state cache is dropped with it.
+        Returns True when a live session was actually closed.
         """
         with self._lock:
-            self._sessions.pop(name, None)
+            sess = self._sessions.pop(name, None)
+            if sess is not None:
+                for txn in list(sess._active_txns):
+                    if txn.status == ACTIVE:
+                        self._finish(txn, ABORTED)
+                sess._active_txns.clear()
+                sess._begin_cache.clear()
         self.gc.clear_ceiling(name)
+        return sess is not None
 
     # -- transaction lifecycle -------------------------------------------------
 
@@ -302,6 +322,7 @@ class TardisStore:
             txn.trace.begin_visits = visits[0]
             txn.trace.begin_cached = begin_cached
             state.pins += 1
+            session._active_txns.add(txn)
         m = _met.DEFAULT
         if m.enabled:
             if self._hot_registry is not m:
@@ -348,13 +369,20 @@ class TardisStore:
             txn = MergeTransaction(self, session, read_states, constraint)
             for state in read_states:
                 state.pins += 1
+            session._active_txns.add(txn)
         return txn
 
     def _finish(self, txn: BaseTransaction, status: str) -> None:
-        txn.status = status
-        for state in _read_states_of(txn):
-            if state.pins > 0:
-                state.pins -= 1
+        # Reentrant from the commit paths (lock already held); user-level
+        # abort() and close_session() enter here cold, so take the lock:
+        # the pin decrements and the session's active-set discard must
+        # not race a concurrent begin/commit on another connection.
+        with self._lock:
+            txn.status = status
+            txn.session._active_txns.discard(txn)
+            for state in _read_states_of(txn):
+                if state.pins > 0:
+                    state.pins -= 1
         if status == ABORTED:
             m = _met.DEFAULT
             if m.enabled:

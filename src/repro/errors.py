@@ -99,6 +99,39 @@ class UnknownSiteError(ReplicationError):
     """A message was addressed to a site the cluster does not know."""
 
 
+class NetworkError(TardisError):
+    """Base class for the network front-end (``server/`` and ``client/``)."""
+
+
+class ProtocolError(NetworkError):
+    """A wire-protocol frame violated the framing rules (bad length
+    header, non-JSON payload, non-object document)."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame's declared payload length exceeded the codec's cap."""
+
+    def __init__(self, size, limit):
+        super().__init__("frame of %d bytes exceeds the %d-byte cap" % (size, limit))
+        self.size = size
+        self.limit = limit
+
+
+class ServerError(NetworkError):
+    """An error response from the TARDiS server, carrying its wire code.
+
+    ``code`` is one of :data:`repro.server.protocol.ERROR_CODES`; the
+    client library re-raises :class:`TransactionAborted` for the
+    ``TXN_ABORTED`` code so application retry loops work unchanged
+    against the in-process and the networked store.
+    """
+
+    def __init__(self, code, message=""):
+        super().__init__("%s: %s" % (code, message) if message else code)
+        self.code = code
+        self.message = message
+
+
 class DeadlockError(TardisError):
     """The lock manager detected a deadlock (baseline 2PL store only)."""
 

@@ -512,6 +512,15 @@ METRIC_NAMES: Dict[str, str] = {
     "tardis_net_buffered_total": "messages buffered by partitions",
     "tardis_net_messages_delivered_total": "network messages delivered",
     "tardis_net_messages_sent_total": "network messages sent",
+    "tardis_net_server_bytes_in_total": "bytes read from client sockets",
+    "tardis_net_server_bytes_out_total": "bytes written to client sockets",
+    "tardis_net_server_connections_active": "live server connections (gauge)",
+    "tardis_net_server_connections_total": "connections the server accepted",
+    "tardis_net_server_disconnect_aborts_total": "txns aborted by disconnect cleanup",
+    "tardis_net_server_errors_total": "error responses sent",
+    "tardis_net_server_request_ms": "server request handling latency (ms)",
+    "tardis_net_server_requests_total": "requests the server processed",
+    "tardis_net_server_timeouts_total": "requests that hit the per-request timeout",
     "tardis_repl_apply_total": "replicated commits applied locally",
     "tardis_repl_cache_total": "replication fetches served from cache",
     "tardis_repl_drop_total": "replication messages dropped",

@@ -21,6 +21,10 @@ Commands:
 * ``check`` — run the static-analysis rules (lock discipline,
   generation contract, metric-name drift, hygiene) over the package and
   exit nonzero on findings; ``--format=json`` is the CI gate's input.
+* ``serve`` — run the asyncio network server (docs/internals.md §12):
+  one TardisStore behind the length-prefixed JSON wire protocol, until
+  SIGINT/SIGTERM; prints a ``TARDIS_SERVE_REPORT`` JSON line after the
+  graceful drain and exits nonzero if any session leaked.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from repro.obs import tracing as _trc
 from repro.obs.context import format_timeline, trace_id_of
 from repro.obs.flight import FlightRecorder, format_flight
 from repro.replication.cluster import Cluster
+from repro.server.server import TardisServer, run_server
 from repro.sim.adapters import OCCAdapter, TardisAdapter, TwoPLAdapter
 from repro.storage.engine import available_engines
 from repro.tools.inspect import dag_to_dot, describe_store, store_summary
@@ -325,6 +330,25 @@ def cmd_check(args) -> int:
     return report.exit_code
 
 
+def cmd_serve(args) -> int:
+    if args.metrics:
+        _met.enable(True)
+    server = TardisServer(
+        host=args.host,
+        port=args.port,
+        site=args.site,
+        engine=args.engine,
+        max_connections=args.max_connections,
+        request_timeout=args.request_timeout,
+        drain_timeout=args.drain_timeout,
+    )
+    report = run_server(server, port_file=args.port_file)
+    if args.metrics:
+        print(export.to_prometheus(_met.DEFAULT))
+    print("TARDIS_SERVE_REPORT " + json.dumps(report, sort_keys=True), flush=True)
+    return 0 if not report.get("leaked_sessions") else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.cli",
@@ -410,6 +434,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
     check.set_defaults(func=cmd_check)
+
+    serve = sub.add_parser(
+        "serve", help="run the network server (docs/internals.md §12)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7145,
+        help="TCP port; 0 picks an ephemeral port (see --port-file)",
+    )
+    serve.add_argument("--site", default="net", help="store site name")
+    serve.add_argument("--engine", choices=available_engines(), default="btree")
+    serve.add_argument("--max-connections", type=int, default=128)
+    serve.add_argument(
+        "--request-timeout", type=float, default=5.0,
+        help="per-request timeout in seconds",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0,
+        help="graceful-shutdown drain window in seconds",
+    )
+    serve.add_argument(
+        "--port-file", default=None,
+        help="write the bound port here once listening (for --port 0)",
+    )
+    serve.add_argument(
+        "--metrics", action="store_true",
+        help="enable the obs registry; dump Prometheus text at exit",
+    )
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -1,0 +1,482 @@
+"""End-to-end tests for the network server: sessions, concurrency,
+disconnect cleanup, graceful shutdown, and the wire error paths."""
+
+import asyncio
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import TardisStore
+from repro.client import AsyncTardisClient, TardisClient
+from repro.errors import BeginError, KeyNotFound, ServerError
+from repro.server import start_in_thread
+from repro.server.protocol import HEADER, MAX_FRAME, FrameDecoder
+
+
+def _wait_until(predicate, timeout=5.0, interval=0.02):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def served():
+    handle = start_in_thread(site="net-test")
+    yield handle
+    if handle.server.report is None:
+        handle.stop()
+
+
+def _total_pins(store):
+    return sum(state.pins for state in store.dag.states())
+
+
+# ---------------------------------------------------------------------------
+# Satellite regression: close_session semantics (no server involved).
+
+
+class TestCloseSession:
+    def test_unknown_session_is_a_no_op(self):
+        store = TardisStore("A")
+        assert store.close_session("never-opened") is False
+
+    def test_double_close_is_idempotent(self):
+        store = TardisStore("A")
+        session = store.session("s")
+        assert store.close_session(session.name) is True
+        assert store.close_session(session.name) is False
+        assert store.close_session(session.name) is False
+
+    def test_close_aborts_open_transactions_and_releases_pins(self):
+        store = TardisStore("A")
+        session = store.session("s")
+        txn1 = store.begin(session=session)
+        txn2 = store.begin(session=session)
+        txn1.put("x", 1)
+        assert _total_pins(store) > 0
+        store.close_session(session.name)
+        assert txn1.status == "aborted"
+        assert txn2.status == "aborted"
+        assert _total_pins(store) == 0
+        assert store.sessions() == []
+        # the aborted write never landed
+        reader = store.begin()
+        assert reader.get("x", default=None) is None
+
+    def test_close_leaves_committed_work_alone(self):
+        store = TardisStore("A")
+        session = store.session("s")
+        txn = store.begin(session=session)
+        txn.put("x", 1)
+        txn.commit()
+        open_txn = store.begin(session=session)
+        store.close_session(session.name)
+        assert open_txn.status == "aborted"
+        assert store.begin().get("x") == 1
+
+
+# ---------------------------------------------------------------------------
+# Basic wire round trips.
+
+
+class TestWireBasics:
+    def test_put_get_over_the_wire(self, served):
+        with TardisClient(port=served.port, session="alice") as client:
+            assert client.session == "alice"
+            assert client.site == "net-test"
+            client.put("greeting", "hello")
+            assert client.get("greeting") == "hello"
+
+    def test_txn_read_your_writes_and_missing_key(self, served):
+        with TardisClient(port=served.port) as client:
+            txn = client.begin()
+            txn.put("k", {"nested": [1, 2]})
+            assert txn.get("k") == {"nested": [1, 2]}
+            with pytest.raises(KeyNotFound):
+                txn.get("absent")
+            assert txn.get("absent", default=7) == 7
+            state = txn.commit()
+            assert isinstance(state, str) and state
+
+    def test_delete_and_context_manager_abort(self, served):
+        with TardisClient(port=served.port) as client:
+            client.put("k", 1)
+            txn = client.begin()
+            txn.delete("k")
+            txn.commit()
+            assert client.get("k", default="gone") == "gone"
+            with pytest.raises(RuntimeError):
+                with client.begin() as txn:
+                    txn.put("k", 99)
+                    raise RuntimeError("boom")
+            assert txn.status == "aborted"
+            assert client.get("k", default="gone") == "gone"
+
+    def test_stats_and_read_only(self, served):
+        with TardisClient(port=served.port) as client:
+            txn = client.begin(read_only=True)
+            with pytest.raises(ServerError) as exc_info:
+                txn.put("x", 1)
+            assert exc_info.value.code == "READ_ONLY"
+            txn.commit()
+            stats = client.stats()
+            assert stats["connections_active"] == 1
+            assert stats["store"]["site"] == "net-test"
+
+    def test_branch_and_merge_over_the_wire(self, served):
+        with TardisClient(port=served.port, session="a") as a, TardisClient(
+            port=served.port, session="b"
+        ) as b:
+            a.put("x", 10)
+            # b begins from the root (its session never saw a's commit is
+            # not guaranteed -- use explicit 'any' to land on a leaf), so
+            # drive a real conflict: both write the same key.
+            b.put("x", 20)
+            merge = a.merge()
+            if merge.conflicts:
+                assert [c["key"] for c in merge.conflicts] == ["x"]
+                merge.put("x", max(merge.conflicts[0]["values"]))
+            merge.commit()
+            assert a.get("x") == 20
+
+
+# ---------------------------------------------------------------------------
+# Oracle equivalence: the same script over the wire and in-process must
+# land in the same final state.
+
+
+def _oracle_script(begin, merge_begin):
+    """Run the canonical script against any (begin, merge) pair of
+    callables and return the final readable key->value map."""
+    for i in range(4):
+        txn = begin(i)
+        txn.put("key-%d" % i, i)
+        txn.put("shared", i)
+        txn.commit()
+    merge = merge_begin()
+    conflicts = merge.conflicts if hasattr(merge, "conflicts") else None
+    if conflicts is None:  # in-process MergeTransaction
+        keys = sorted(merge.find_conflict_writes())
+        for key in keys:
+            merge.put(key, max(merge.get_all(key)))
+    else:
+        for conflict in sorted(conflicts, key=lambda c: c["key"]):
+            merge.put(conflict["key"], max(conflict["values"]))
+    merge.commit()
+    reader = begin(0)
+    out = {}
+    for i in range(4):
+        out["key-%d" % i] = reader.get("key-%d" % i, default=None)
+    out["shared"] = reader.get("shared", default=None)
+    reader.commit()
+    return out
+
+
+class TestOracleEquivalence:
+    def test_wire_final_state_matches_in_process(self, served):
+        clients = [
+            TardisClient(port=served.port, session="sess-%d" % i) for i in range(4)
+        ]
+        try:
+            wire = _oracle_script(
+                lambda i: clients[i].begin(), lambda: clients[0].merge()
+            )
+        finally:
+            for client in clients:
+                client.close()
+
+        store = TardisStore("oracle")
+        sessions = [store.session("sess-%d" % i) for i in range(4)]
+        in_process = _oracle_script(
+            lambda i: store.begin(session=sessions[i]),
+            lambda: store.begin_merge(session=sessions[0]),
+        )
+        assert wire == in_process
+        assert wire["shared"] == 3  # max of the conflicting writes
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: many sockets at once, interleaved branch/merge.
+
+
+class TestConcurrentClients:
+    N_CLIENTS = 8
+    N_INCREMENTS = 10
+
+    def test_interleaved_clients_converge(self, served):
+        errors = []
+
+        def _client_loop(client_id):
+            try:
+                client = TardisClient(
+                    port=served.port, session="worker-%d" % client_id
+                )
+                key = "counter-%d" % client_id
+                for _ in range(self.N_INCREMENTS):
+                    txn = client.begin()
+                    value = txn.get(key, default=0)
+                    txn.put(key, value + 1)
+                    txn.commit()
+                client.close()
+            except Exception as exc:  # surfaced via the errors list
+                errors.append((client_id, exc))
+
+        threads = [
+            threading.Thread(target=_client_loop, args=(i,))
+            for i in range(self.N_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert errors == []
+
+        # Merge every branch down and verify nothing was lost: each
+        # client's session anchor made its own increments sequential, so
+        # every counter must read N_INCREMENTS after the merge.
+        with TardisClient(port=served.port, session="checker") as checker:
+            while True:
+                merge = checker.merge()
+                for conflict in merge.conflicts:
+                    merge.put(conflict["key"], max(conflict["values"]))
+                merge.commit()
+                if len(served.server.store.dag.leaves()) == 1:
+                    break
+            for i in range(self.N_CLIENTS):
+                assert checker.get("counter-%d" % i) == self.N_INCREMENTS
+
+
+# ---------------------------------------------------------------------------
+# Disconnect cleanup: a dead socket must not leak sessions, txns or pins.
+
+
+class TestDisconnectCleanup:
+    def test_hard_disconnect_aborts_and_unpins(self, served):
+        store = served.server.store
+        client = TardisClient(port=served.port, session="dropper")
+        txn = client.begin()
+        txn.put("doomed", 1)
+        assert any(s.name == "dropper" for s in store.sessions())
+        client._sock.close()  # hard drop: no BYE, mid-transaction
+
+        assert _wait_until(
+            lambda: not any(s.name == "dropper" for s in store.sessions())
+        ), "session leaked after disconnect"
+        assert _wait_until(lambda: _total_pins(store) == 0), "pins leaked"
+
+        with TardisClient(port=served.port, session="observer") as observer:
+            stats = observer.stats()
+            assert stats["disconnect_aborts"] >= 1
+            assert stats["open_txns"] == 0
+            # the aborted write is invisible
+            assert observer.get("doomed", default=None) is None
+
+    def test_session_name_reusable_after_disconnect(self, served):
+        client = TardisClient(port=served.port, session="phoenix")
+        client._sock.close()
+        assert _wait_until(
+            lambda: not any(
+                s.name == "phoenix" for s in served.server.store.sessions()
+            )
+        )
+        reborn = TardisClient(port=served.port, session="phoenix")
+        reborn.put("x", 1)
+        reborn.close()
+
+
+# ---------------------------------------------------------------------------
+# Graceful shutdown: drain in-flight transactions, refuse new ones.
+
+
+class TestGracefulShutdown:
+    def test_drain_lets_open_txn_commit_and_refuses_new_work(self):
+        handle = start_in_thread(site="drain-test", drain_timeout=10.0)
+        client = TardisClient(port=handle.port, session="worker")
+        txn = client.begin()
+        txn.put("x", 1)
+
+        reports = {}
+        stopper = threading.Thread(
+            target=lambda: reports.update(report=handle.stop())
+        )
+        stopper.start()
+        assert _wait_until(lambda: handle.server._closing)
+
+        # New transactions are refused while draining...
+        with pytest.raises(ServerError) as exc_info:
+            client.begin()
+        assert exc_info.value.code == "SHUTTING_DOWN"
+        # ...but the open one is allowed to finish.
+        txn.commit()
+        client.close()
+        stopper.join(timeout=30.0)
+
+        report = reports["report"]
+        assert report["drained_in_time"] is True
+        assert report["leaked_sessions"] == []
+        assert report["commits"] == 1
+
+    def test_drain_timeout_force_closes_and_still_leaks_nothing(self):
+        handle = start_in_thread(site="force-test", drain_timeout=0.2)
+        client = TardisClient(port=handle.port, session="straggler")
+        client.begin().put("x", 1)  # left open on purpose
+        report = handle.stop()
+        assert report["drained_in_time"] is False
+        assert report["forced_closes"] >= 1
+        assert report["leaked_sessions"] == []
+        assert report["disconnect_aborts"] >= 1
+        assert handle.server.store.sessions() == []
+
+    def test_new_connections_rejected_while_draining(self):
+        handle = start_in_thread(site="reject-test", drain_timeout=5.0)
+        client = TardisClient(port=handle.port, session="holder")
+        txn = client.begin()
+        stopper = threading.Thread(target=handle.stop)
+        stopper.start()
+        assert _wait_until(lambda: handle.server._closing)
+        with pytest.raises((ServerError, OSError, Exception)):
+            TardisClient(port=handle.port, session="late")
+        txn.commit()
+        client.close()
+        stopper.join(timeout=30.0)
+
+
+# ---------------------------------------------------------------------------
+# Wire error paths: framing violations and protocol misuse.
+
+
+class TestWireErrors:
+    def _raw_exchange(self, port, payload_bytes):
+        """Send raw bytes; return every frame the server answers before
+        closing the connection."""
+        sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+        decoder = FrameDecoder()
+        frames = []
+        try:
+            sock.sendall(payload_bytes)
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                decoder.feed(data)
+                frames.extend(decoder.frames())
+        finally:
+            sock.close()
+        return frames
+
+    def test_oversized_frame_is_fatal(self, served):
+        frames = self._raw_exchange(served.port, HEADER.pack(MAX_FRAME + 1))
+        assert frames[-1]["error"]["code"] == "FRAME_TOO_LARGE"
+
+    def test_garbage_frame_is_fatal(self, served):
+        payload = b"\x00\xffnot json"
+        frames = self._raw_exchange(
+            served.port, HEADER.pack(len(payload)) + payload
+        )
+        assert frames[-1]["error"]["code"] == "BAD_FRAME"
+
+    def test_session_in_use(self, served):
+        with TardisClient(port=served.port, session="solo"):
+            with pytest.raises(ServerError) as exc_info:
+                TardisClient(port=served.port, session="solo")
+            assert exc_info.value.code == "SESSION_IN_USE"
+
+    def test_version_mismatch(self, served):
+        sock = socket.create_connection(("127.0.0.1", served.port), timeout=5.0)
+        try:
+            from repro.server.protocol import encode_frame
+
+            sock.sendall(
+                encode_frame({"id": 1, "op": "HELLO", "protocol": 99})
+            )
+            decoder = FrameDecoder()
+            decoder.feed(sock.recv(65536))
+            response = decoder.next_frame()
+            assert response["error"]["code"] == "BAD_VERSION"
+        finally:
+            sock.close()
+
+    def test_no_hello_unknown_txn_bad_constraint(self, served):
+        sock = socket.create_connection(("127.0.0.1", served.port), timeout=5.0)
+        try:
+            from repro.server.protocol import encode_frame
+
+            decoder = FrameDecoder()
+
+            def ask(request):
+                sock.sendall(encode_frame(request))
+                while True:
+                    frame = decoder.next_frame()
+                    if frame is not None:
+                        return frame
+                    decoder.feed(sock.recv(65536))
+
+            assert (
+                ask({"id": 1, "op": "BEGIN"})["error"]["code"] == "NO_HELLO"
+            )
+            assert ask({"id": 2, "op": "HELLO"})["ok"] is True
+            assert (
+                ask({"id": 3, "op": "HELLO"})["error"]["code"]
+                == "ALREADY_HELLO"
+            )
+            assert (
+                ask({"id": 4, "op": "READ", "txn": 99, "key": "x"})["error"][
+                    "code"
+                ]
+                == "UNKNOWN_TXN"
+            )
+            assert (
+                ask({"id": 5, "op": "BEGIN", "constraint": "nope"})["error"][
+                    "code"
+                ]
+                == "BAD_CONSTRAINT"
+            )
+            assert (
+                ask({"id": 6, "op": "FROB"})["error"]["code"] == "UNKNOWN_OP"
+            )
+            assert (
+                ask({"id": 7, "op": "WRITE", "txn": 1})["error"]["code"]
+                == "BAD_REQUEST"
+            )
+        finally:
+            sock.close()
+
+    def test_commit_twice_is_txn_closed(self, served):
+        with TardisClient(port=served.port) as client:
+            txn = client.begin()
+            txn.put("x", 1)
+            txn.commit()
+            with pytest.raises(ServerError) as exc_info:
+                client._request("COMMIT", txn=txn._txn_id)
+            assert exc_info.value.code == "UNKNOWN_TXN"
+
+
+# ---------------------------------------------------------------------------
+# The async client speaks the same protocol.
+
+
+class TestAsyncClient:
+    def test_async_round_trip(self, served):
+        async def _go():
+            client = await AsyncTardisClient.connect(
+                port=served.port, session="aio"
+            )
+            try:
+                async with await client.begin() as txn:
+                    await txn.put("async-key", [1, 2, 3])
+                assert await client.get("async-key") == [1, 2, 3]
+                merge = await client.merge()
+                for conflict in merge.conflicts:
+                    await merge.put(conflict["key"], max(conflict["values"]))
+                await merge.commit()
+                stats = await client.stats()
+                assert stats["commits"] >= 2
+            finally:
+                await client.close()
+
+        asyncio.run(_go())

@@ -1,0 +1,166 @@
+"""Wire-protocol codec tests: framing round trips, fuzz, failure modes."""
+
+import json
+import random
+import struct
+
+import pytest
+
+from repro.errors import FrameTooLarge, ProtocolError
+from repro.server.protocol import (
+    ERROR_CODES,
+    HEADER,
+    MAX_FRAME,
+    OPS,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+
+
+class TestEncodeFrame:
+    def test_round_trip_simple(self):
+        frame = encode_frame({"id": 1, "op": "HELLO"})
+        decoder = FrameDecoder()
+        decoder.feed(frame)
+        assert decoder.next_frame() == {"id": 1, "op": "HELLO"}
+        assert decoder.next_frame() is None
+        assert decoder.pending() == 0
+
+    def test_header_is_big_endian_length(self):
+        frame = encode_frame({"a": 1})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert json.loads(frame[4:]) == {"a": 1}
+
+    def test_unicode_and_nesting_round_trip(self):
+        obj = {
+            "id": 7,
+            "op": "WRITE",
+            "key": "clé-☃",
+            "value": {"nested": [1, 2.5, None, True, "日本語"]},
+        }
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(obj))
+        assert decoder.next_frame() == obj
+
+    def test_oversized_encode_raises(self):
+        with pytest.raises(FrameTooLarge) as exc_info:
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+        assert exc_info.value.size > exc_info.value.limit
+
+    def test_custom_max_frame(self):
+        encode_frame({"k": "v"}, max_frame=64)
+        with pytest.raises(FrameTooLarge):
+            encode_frame({"k": "v" * 100}, max_frame=64)
+
+
+class TestFrameDecoder:
+    def test_byte_at_a_time_feed(self):
+        obj = {"id": 3, "op": "READ", "key": "x"}
+        frame = encode_frame(obj)
+        decoder = FrameDecoder()
+        for i, byte in enumerate(frame):
+            decoder.feed(bytes([byte]))
+            if i < len(frame) - 1:
+                assert decoder.next_frame() is None
+        assert decoder.next_frame() == obj
+
+    def test_multiple_frames_in_one_feed(self):
+        objs = [{"id": i, "op": "STATS"} for i in range(5)]
+        decoder = FrameDecoder()
+        decoder.feed(b"".join(encode_frame(o) for o in objs))
+        assert list(decoder.frames()) == objs
+        assert decoder.frames_decoded == 5
+
+    def test_partial_header_then_rest(self):
+        frame = encode_frame({"id": 9})
+        decoder = FrameDecoder()
+        decoder.feed(frame[:2])
+        assert decoder.next_frame() is None
+        decoder.feed(frame[2:])
+        assert decoder.next_frame() == {"id": 9}
+
+    def test_oversized_header_rejected_before_payload(self):
+        decoder = FrameDecoder()
+        decoder.feed(HEADER.pack(MAX_FRAME + 1))
+        with pytest.raises(FrameTooLarge):
+            decoder.next_frame()
+
+    def test_zero_length_frame_rejected(self):
+        decoder = FrameDecoder()
+        decoder.feed(HEADER.pack(0))
+        with pytest.raises(ProtocolError):
+            decoder.next_frame()
+
+    def test_garbage_payload_rejected(self):
+        payload = b"\xff\xfe not json"
+        decoder = FrameDecoder()
+        decoder.feed(HEADER.pack(len(payload)) + payload)
+        with pytest.raises(ProtocolError):
+            decoder.next_frame()
+
+    def test_non_object_payload_rejected(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        decoder = FrameDecoder()
+        decoder.feed(HEADER.pack(len(payload)) + payload)
+        with pytest.raises(ProtocolError):
+            decoder.next_frame()
+
+    def test_fuzz_random_chunking_round_trips(self):
+        rng = random.Random(42)
+        objs = [
+            {"id": i, "op": "WRITE", "key": "k%d" % i, "value": "v" * rng.randrange(200)}
+            for i in range(50)
+        ]
+        blob = b"".join(encode_frame(o) for o in objs)
+        decoder = FrameDecoder()
+        out = []
+        position = 0
+        while position < len(blob):
+            step = rng.randrange(1, 37)
+            decoder.feed(blob[position : position + step])
+            position += step
+            out.extend(decoder.frames())
+        assert out == objs
+        assert decoder.bytes_fed == len(blob)
+
+    def test_fuzz_random_garbage_never_hangs(self):
+        # Garbage must either decode, return None (need more data), or
+        # raise a ProtocolError subclass -- never anything else.
+        rng = random.Random(7)
+        for _ in range(200):
+            decoder = FrameDecoder()
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(64)))
+            decoder.feed(blob)
+            try:
+                while decoder.next_frame() is not None:
+                    pass
+            except ProtocolError:
+                pass
+
+
+class TestResponseHelpers:
+    def test_ok_response_shape(self):
+        response = ok_response(4, value=10)
+        assert response == {"id": 4, "ok": True, "value": 10}
+
+    def test_error_response_shape(self):
+        response = error_response(4, "UNKNOWN_TXN", "no txn 9")
+        assert response == {
+            "id": 4,
+            "ok": False,
+            "error": {"code": "UNKNOWN_TXN", "message": "no txn 9"},
+        }
+
+    def test_error_response_rejects_unknown_code(self):
+        with pytest.raises(ValueError):
+            error_response(1, "NOT_A_CODE", "nope")
+
+    def test_catalogued_codes_and_ops(self):
+        assert "HELLO" in OPS and "MERGE" in OPS
+        for code in ("BAD_FRAME", "TIMEOUT", "SHUTTING_DOWN", "INTERNAL"):
+            assert code in ERROR_CODES
+        assert PROTOCOL_VERSION == 1
