@@ -1,0 +1,219 @@
+"""bench_shardplane: shard-plane throughput vs worker count.
+
+Measures real wall-clock read/write throughput of the partitioned
+storage layer on the Figure 9(a) mix (Read-Heavy, uniform keys): the
+in-process :class:`ShardedRecordStore` versus the process-parallel
+``proc-sharded`` plane at 1/2/4/8 workers, all behind the same
+``TardisStore`` transaction API.
+
+The workload is built to exercise the part of the read path the worker
+processes actually parallelize: every key carries ``--history`` stacked
+versions, read-only transactions pin an *old* read state
+(``StateIdConstraint``), so each read is a version walk that skips the
+whole newer history, and the six reads of a read-only transaction go
+through ``Transaction.get_many`` — one scatter/gather batch across the
+shard workers instead of six sequential round trips. Read caches are
+disabled on both arms so every read pays its walk.
+
+Results go to ``BENCH_shardplane.json``: per-arm read/write key
+throughput plus ``speedup_vs_inproc`` ratios. ``cpu_count`` and
+``cpu_affinity`` are recorded alongside because the ratios only show
+parallel speedup when the container actually has cores to run the
+workers on; on a single-core host the proc plane pays its IPC overhead
+with nothing to overlap against.
+
+Usage::
+
+    python benchmarks/bench_shardplane.py             # full sweep
+    python benchmarks/bench_shardplane.py --smoke     # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import time
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+for _path in (BENCH_DIR, SRC_DIR):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from common import write_bench_json  # noqa: E402
+from repro.core.constraints import StateIdConstraint  # noqa: E402
+from repro.core.store import TardisStore  # noqa: E402
+from repro.workload.mixes import READ_HEAVY, YCSBWorkload  # noqa: E402
+
+N_SHARDS = 8
+WORKER_SWEEP = [1, 2, 4, 8]
+
+
+def _build_store(arm: str, workers: int) -> TardisStore:
+    if arm == "inproc":
+        return TardisStore(
+            "bench", engine="sharded", shards=N_SHARDS, read_cache=False
+        )
+    return TardisStore(
+        "bench",
+        engine="proc-sharded",
+        shards=N_SHARDS,
+        shard_workers=workers,
+        read_cache=False,
+    )
+
+
+def _preload_and_stack(store: TardisStore, n_keys: int, history: int):
+    """Load the key space and pile ``history`` versions on every key.
+
+    Returns the state id of the *preload* commit: a read pinned there
+    must walk past the whole stacked history for every key it touches.
+    """
+    keys = ["key%06d" % i for i in range(n_keys)]
+    txn = store.begin(session=store.session("loader"))
+    for key in keys:
+        txn.put(key, 0)
+    old_id = txn.commit()
+    for round_no in range(1, history + 1):
+        txn = store.begin(session=store.session("loader"))
+        for key in keys:
+            txn.put(key, round_no)
+        txn.commit()
+    return old_id
+
+
+def _run_arm(arm: str, workers: int, args) -> dict:
+    store = _build_store(arm, workers)
+    label = arm if arm == "inproc" else "proc-%dw" % workers
+    try:
+        old_id = _preload_and_stack(store, args.keys, args.history)
+        workload = YCSBWorkload(
+            mix=READ_HEAVY, n_keys=args.keys, pattern="uniform"
+        )
+        rng = random.Random(args.seed)
+        session = store.session("bench-client")
+        specs = [workload.next_txn(rng) for _ in range(args.txns)]
+
+        reads = writes = commits = 0
+        wall_start = time.perf_counter()
+        for spec in specs:
+            if spec.read_only:
+                # Deep-walk reads: pin the pre-history state and batch
+                # the whole read set into one scatter/gather.
+                txn = store.begin(
+                    begin_constraint=StateIdConstraint([old_id]),
+                    session=session,
+                    read_only=True,
+                )
+                keys = [op[1] for op in spec.ops]
+                txn.get_many(keys, default=None)
+                txn.commit()
+                reads += len(keys)
+            else:
+                txn = store.begin(session=session)
+                read_keys = [op[1] for op in spec.ops if op[0] == "r"]
+                if read_keys:
+                    txn.get_many(read_keys, default=None)
+                for op in spec.ops:
+                    if op[0] == "w":
+                        txn.put(op[1], op[2])
+                        writes += 1
+                txn.commit()
+                reads += len(read_keys)
+            commits += 1
+        wall_s = time.perf_counter() - wall_start
+    finally:
+        store.close()
+    result = {
+        "arm": label,
+        "workers": workers if arm != "inproc" else 0,
+        "wall_s": wall_s,
+        "txns": commits,
+        "txn_per_s": commits / wall_s if wall_s else 0.0,
+        "read_keys_per_s": reads / wall_s if wall_s else 0.0,
+        "write_keys_per_s": writes / wall_s if wall_s else 0.0,
+        "reads": reads,
+        "writes": writes,
+        "leaked_workers": store.leaked_workers,
+    }
+    print(
+        "bench_shardplane: %-8s %6.2fs wall, %7.0f reads/s, %6.0f writes/s"
+        % (label, wall_s, result["read_keys_per_s"], result["write_keys_per_s"])
+    )
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keys", type=int, default=512)
+    parser.add_argument(
+        "--history", type=int, default=40,
+        help="stacked versions per key (walk depth for pinned reads)",
+    )
+    parser.add_argument("--txns", type=int, default=400, help="txns per arm")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run; also gates on commits>0 and zero worker leaks",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.txns = min(args.txns, 60)
+        args.history = min(args.history, 10)
+        args.keys = min(args.keys, 128)
+
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        affinity = os.cpu_count() or 1
+
+    arms = [_run_arm("inproc", 0, args)]
+    arms += [_run_arm("proc", n, args) for n in WORKER_SWEEP]
+
+    base = arms[0]["read_keys_per_s"] or 1.0
+    speedups = {
+        arm["arm"]: arm["read_keys_per_s"] / base for arm in arms[1:]
+    }
+    metrics = {
+        "arms": arms,
+        "speedup_vs_inproc": speedups,
+        "speedup_4_workers": speedups.get("proc-4w", 0.0),
+        "cpu_count": os.cpu_count(),
+        "cpu_affinity": affinity,
+    }
+    config = {
+        "mix": "fig9a-read-heavy",
+        "n_shards": N_SHARDS,
+        "worker_sweep": WORKER_SWEEP,
+        "keys": args.keys,
+        "history": args.history,
+        "txns_per_arm": args.txns,
+        "seed": args.seed,
+        "smoke": args.smoke,
+    }
+    path = write_bench_json("shardplane", metrics, config)
+    print(
+        "bench_shardplane: 4-worker speedup vs in-process = %.2fx "
+        "(on %d usable core(s))"
+        % (metrics["speedup_4_workers"], affinity)
+    )
+    print("bench_shardplane: wrote %s" % path)
+
+    if args.smoke:
+        problems = []
+        if any(arm["txns"] <= 0 for arm in arms):
+            problems.append("an arm committed no transactions")
+        if any(arm["leaked_workers"] for arm in arms):
+            problems.append("leaked shard workers")
+        if problems:
+            print("bench_shardplane SMOKE FAILED: " + "; ".join(problems))
+            return 1
+        print("bench_shardplane smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

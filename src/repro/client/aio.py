@@ -50,6 +50,20 @@ class AsyncClientTransaction:
             return default
         return response["value"]
 
+    async def get_many(self, keys: List[Any], default: Any = _RAISE) -> List[Any]:
+        """Batch read: one READ_MANY round trip (see the sync twin)."""
+        response = await self._client._request(
+            "READ_MANY", txn=self._txn_id, keys=list(keys)
+        )
+        values = []
+        for key, found, value in zip(keys, response["found"], response["values"]):
+            if not found:
+                if default is _RAISE:
+                    raise KeyNotFound(key)
+                value = default
+            values.append(value)
+        return values
+
     async def put(self, key: Any, value: Any) -> None:
         await self._client._request("WRITE", txn=self._txn_id, key=key, value=value)
 
@@ -196,6 +210,16 @@ class AsyncTardisClient:
             if txn.status == "active":
                 await txn.commit()
         return value
+
+    async def get_many(self, keys: List[Any], default: Any = None) -> List[Any]:
+        """Batch-read autocommit transaction (one READ_MANY frame)."""
+        txn = await self.begin(read_only=True)
+        try:
+            values = await txn.get_many(keys, default=default)
+        finally:
+            if txn.status == "active":
+                await txn.commit()
+        return values
 
     async def stats(self) -> Dict[str, Any]:
         return (await self._request("STATS"))["stats"]

@@ -35,6 +35,7 @@ from repro.errors import (
     KeyNotFound,
     NetworkError,
     ServerError,
+    ShardUnavailableError,
     TransactionAborted,
     TransactionClosed,
 )
@@ -63,6 +64,8 @@ def raise_for_error(response: Dict[str, Any]) -> Dict[str, Any]:
         raise TransactionClosed(message)
     if code == "BEGIN_FAILED":
         raise BeginError(message)
+    if code == "SHARD_UNAVAILABLE":
+        raise ShardUnavailableError(None, message)
     raise ServerError(code, message)
 
 
@@ -83,6 +86,25 @@ class _BaseClientTransaction:
                 raise KeyNotFound(key)
             return default
         return response["value"]
+
+    def get_many(self, keys: List[Any], default: Any = _RAISE) -> List[Any]:
+        """Batch read: one READ_MANY round trip for the whole key list.
+
+        Against a shard-partitioned server the batch fans out across the
+        shard workers in parallel, so this is the wire API that actually
+        exercises the scatter/gather read path.
+        """
+        response = self._client._request(
+            "READ_MANY", txn=self._txn_id, keys=list(keys)
+        )
+        values = []
+        for key, found, value in zip(keys, response["found"], response["values"]):
+            if not found:
+                if default is _RAISE:
+                    raise KeyNotFound(key)
+                value = default
+            values.append(value)
+        return values
 
     def put(self, key: Any, value: Any) -> None:
         self._client._request("WRITE", txn=self._txn_id, key=key, value=value)
@@ -259,6 +281,16 @@ class TardisClient:
             if txn.status == "active":
                 txn.commit()
         return value
+
+    def get_many(self, keys: List[Any], default: Any = None) -> List[Any]:
+        """Batch-read autocommit transaction (one READ_MANY frame)."""
+        txn = self.begin(read_only=True)
+        try:
+            values = txn.get_many(keys, default=default)
+        finally:
+            if txn.status == "active":
+                txn.commit()
+        return values
 
     def stats(self) -> Dict[str, Any]:
         """Server + store counters (see docs/internals.md §12)."""

@@ -27,6 +27,7 @@ from repro.core.ids import StateId
 from repro.core.state_dag import State, StateDAG
 from repro.core.transaction import OpTrace
 from repro.core.versions import VersionedRecordStore
+from repro.errors import CrossShardAbort, ShardError
 from repro.obs import metrics as _met
 from repro.obs.context import TraceContext
 from repro.storage.wal import WriteAheadLog
@@ -130,15 +131,42 @@ class CommitPipeline:
         keeps its origin-site id, §6.4), and ``ctx`` is the trace
         context that arrived with a remote transaction. The caller holds
         the store lock and has already settled all constraint questions.
+
+        Against a sharded storage layer the pipeline runs the shard
+        commit protocol: the write set is *prepared* (planned into
+        per-shard batches, target workers validated and — for
+        multi-shard commits — staged, in ascending shard order) before
+        the DAG state exists, so a dead worker aborts the transaction
+        with a typed :class:`~repro.errors.CrossShardAbort` instead of
+        leaving a committed-looking state whose writes were lost.
         """
+        # The storage layer is duck-typed here: flat VersionedRecordStore
+        # or a sharded store with the staged-commit contract.
+        versions: Any = self.versions
+        staged: Optional[Any] = None
+        prepare = getattr(versions, "prepare_commit", None)
+        if prepare is not None and writes:
+            try:
+                staged = prepare(writes)
+            except ShardError as exc:
+                self._observe_shard_abort()
+                shard = getattr(exc, "shard", None)
+                raise CrossShardAbort(
+                    shard, "shard prepare failed: %s" % exc
+                ) from exc
         # create_state bumps dag.generation, which is what tells the
         # begin-state cache to revalidate against the new leaf set.
-        state = self.dag.create_state(
-            parents,
-            read_keys=read_keys,
-            write_keys=frozenset(write_keys if write_keys is not None else writes),
-            state_id=state_id,
-        )
+        try:
+            state = self.dag.create_state(
+                parents,
+                read_keys=read_keys,
+                write_keys=frozenset(write_keys if write_keys is not None else writes),
+                state_id=state_id,
+            )
+        except Exception:
+            if staged is not None:
+                versions.abandon_commit(staged)
+            raise
         if self.write_index is not None:
             self.write_index.on_commit(state)
         tracer = self.tracer
@@ -152,13 +180,25 @@ class CommitPipeline:
                 state.id, [p.id for p in parents], state.id.site
             )
         self.last_ctx = ctx
-        for key, value in writes.items():
-            self.versions.write(key, state.id, value)
+        if staged is not None:
+            versions.install_commit(staged, state)
+        else:
+            for key, value in writes.items():
+                self.versions.write(key, state.id, value)
         if trace is not None:
             trace.writes_applied += len(writes)
         self._append_log(state, writes)
         self._observe(origin, parents, writes)
+        if staged is not None and staged.n_shards > 1:
+            m = _met.DEFAULT
+            if m.enabled:
+                m.inc("tardis_commit_cross_shard_total")
         return state
+
+    def _observe_shard_abort(self) -> None:
+        m = _met.DEFAULT
+        if m.enabled:
+            m.inc("tardis_commit_shard_abort_total")
 
     # -- write-ahead logging (§6.5) ----------------------------------------
 

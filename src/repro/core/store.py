@@ -56,10 +56,12 @@ from repro.obs import tracing as _trc
 from repro.obs.tracing import Tracer
 from repro.errors import (
     BeginError,
+    CrossShardAbort,
     GarbageCollectedError,
     TardisError,
     TransactionAborted,
 )
+from repro.storage.engine import create_record_store, is_record_store
 from repro.storage.wal import WriteAheadLog
 
 
@@ -156,6 +158,9 @@ class TardisStore:
         engine: Any = None,
         group_commit: int = 0,
         read_cache: bool = True,
+        shards: Optional[int] = None,
+        shard_workers: Optional[int] = None,
+        shard_of: Any = None,
     ) -> None:
         self.site = site
         #: paper defaults: Ancestor begin, Serializability end (§5.1).
@@ -168,13 +173,41 @@ class TardisStore:
         #: ``dag.destructive_gen``. ``read_cache=False`` runs every read
         #: path cold (the A/B arm of bench_readpath).
         self.read_cache = read_cache
-        self.versions = VersionedRecordStore(
-            btree_degree=btree_degree,
-            seed=seed,
-            backend=backend,
-            engine=engine,
-            cache=read_cache,
-        )
+        #: the storage layer: flat by default; an ``engine`` naming a
+        #: registered record store (``"sharded"``, ``"proc-sharded"``)
+        #: or an explicit ``shards``/``shard_workers`` count swaps in
+        #: the shard plane behind the same interface.
+        spec = engine if engine is not None else backend
+        if is_record_store(spec) or shards is not None or shard_workers:
+            if is_record_store(spec):
+                store_name, inner = spec, None
+            else:
+                store_name = "proc-sharded" if shard_workers else "sharded"
+                inner = spec
+            self.versions = create_record_store(
+                store_name,
+                engine=inner,
+                btree_degree=btree_degree,
+                seed=seed,
+                cache=read_cache,
+                shards=shards,
+                shard_workers=shard_workers,
+                shard_of=shard_of,
+            )
+        else:
+            self.versions = VersionedRecordStore(
+                btree_degree=btree_degree,
+                seed=seed,
+                backend=backend,
+                engine=engine,
+                cache=read_cache,
+            )
+        #: workers the storage layer failed to stop cleanly (set by
+        #: ``close``; always 0 for in-process storage).
+        self.leaked_workers: int = 0
+        bind_dag = getattr(self.versions, "bind_dag", None)
+        if bind_dag is not None:
+            bind_dag(self.dag)
         self.metrics = StoreMetrics()
         self._lock = threading.RLock()
         self._sessions: Dict[str, ClientSession] = {}
@@ -402,6 +435,22 @@ class TardisStore:
             return _NOT_FOUND
         return hit[1]
 
+    def _read_many(self, keys: List[Any], state: State, trace: OpTrace) -> List[Any]:
+        """Batched ``_read``: one storage call for a whole key batch.
+
+        Against the process-level sharded store the batch scatters
+        across workers and their version walks run in parallel; flat
+        and in-process-sharded storage just loop.
+        """
+        scanned = [0]
+        hits = [0]
+        results = self.versions.read_visible_many(
+            keys, state, self.dag, scanned, hits
+        )
+        trace.versions_scanned += scanned[0]
+        trace.vis_hits += hits[0]
+        return [_NOT_FOUND if hit is None else hit[1] for hit in results]
+
     def _read_at(self, key: Any, state: State, trace: OpTrace) -> Optional[Tuple[StateId, Any]]:
         scanned = [0]
         hits = [0]
@@ -498,13 +547,23 @@ class TardisStore:
                     "no commit state satisfies end constraint %s" % constraint.name
                 )
             created_fork = bool(current.children)
-            state = self.pipeline.commit(
-                [current],
-                txn.writes,
-                read_keys=frozenset(txn.read_keys),
-                origin=LOCAL,
-                trace=txn.trace,
-            )
+            try:
+                state = self.pipeline.commit(
+                    [current],
+                    txn.writes,
+                    read_keys=frozenset(txn.read_keys),
+                    origin=LOCAL,
+                    trace=txn.trace,
+                )
+            except CrossShardAbort:
+                # Shard prepare failed (dead/unresponsive worker); the
+                # DAG is untouched, so this is a clean typed abort.
+                self._finish(txn, ABORTED)
+                self.metrics.aborts += 1
+                t = self._tracer()
+                if t.enabled:
+                    t.event("txn.abort", reason="shard-unavailable", site=self.site)
+                raise
             txn.trace.created_fork = created_fork
             # Captured inside the lock: last_ctx is per-pipeline mutable
             # state and the next commit overwrites it.
@@ -589,13 +648,21 @@ class TardisStore:
                             "merge parent %r fails end constraint %s"
                             % (parent.id, constraint.name)
                         )
-            state = self.pipeline.commit(
-                txn.read_states,
-                txn.writes,
-                read_keys=frozenset(txn.read_keys),
-                origin=MERGE,
-                trace=txn.trace,
-            )
+            try:
+                state = self.pipeline.commit(
+                    txn.read_states,
+                    txn.writes,
+                    read_keys=frozenset(txn.read_keys),
+                    origin=MERGE,
+                    trace=txn.trace,
+                )
+            except CrossShardAbort:
+                self._finish(txn, ABORTED)
+                self.metrics.aborts += 1
+                t = self._tracer()
+                if t.enabled:
+                    t.event("txn.abort", reason="shard-unavailable", site=self.site)
+                raise
             ctx = self.pipeline.last_ctx
             self.metrics.commits += 1
             self.metrics.merges += 1
@@ -736,6 +803,13 @@ class TardisStore:
     def close(self) -> None:
         if self.wal is not None:
             self.wal.close()
+        # Process-level shard planes own worker processes; stop them and
+        # record how many failed to exit cleanly (the leak gate).
+        close_storage = getattr(self.versions, "close", None)
+        if close_storage is not None:
+            leaked = close_storage()
+            if leaked:
+                self.leaked_workers = int(leaked)
 
     def __repr__(self) -> str:
         return "<TardisStore site=%s states=%d records=%d>" % (

@@ -11,7 +11,7 @@ transaction got there first (branch-on-conflict).
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Optional, Set, TYPE_CHECKING
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.core.ids import StateId
 from repro.core.state_dag import State, StateDAG
@@ -33,8 +33,18 @@ class _Tombstone:
     def __repr__(self) -> str:
         return "<tombstone>"
 
+    def __reduce__(self) -> Tuple[Any, ...]:
+        # Tombstones are compared by identity (``value is TOMBSTONE``),
+        # so a pickle round trip — e.g. through a shard-worker pipe —
+        # must yield the singleton, not a fresh instance.
+        return (_load_tombstone, ())
+
 
 TOMBSTONE = _Tombstone()
+
+
+def _load_tombstone() -> "_Tombstone":
+    return TOMBSTONE
 
 ACTIVE = "active"
 COMMITTED = "committed"
@@ -180,6 +190,38 @@ class Transaction(BaseTransaction):
                 raise KeyNotFound(key)
             return default
         return value
+
+    def get_many(self, keys: Iterable[Any], default: Any = _RAISE) -> List[Any]:
+        """Batched read: like ``[get(k) for k in keys]`` in one store call.
+
+        Own buffered writes are consulted per key as in :meth:`get`; the
+        remaining keys go to the storage layer as one batch, which the
+        sharded stores scatter across their shards (and the process-level
+        store across its workers, in parallel). Results align with
+        ``keys``; ``default`` applies per missing key.
+        """
+        self._check_active()
+        keys = list(keys)
+        values: List[Any] = [_NOT_FOUND] * len(keys)
+        missing: List[Tuple[int, Any]] = []
+        for position, key in enumerate(keys):
+            self.read_keys.add(key)
+            if key in self.writes:
+                values[position] = self.writes[key]
+            else:
+                missing.append((position, key))
+        if missing:
+            fetched = self._store._read_many(
+                [key for _position, key in missing], self.read_state, self.trace
+            )
+            for (position, _key), value in zip(missing, fetched):
+                values[position] = value
+        for position, value in enumerate(values):
+            if value is TOMBSTONE or value is _NOT_FOUND:
+                if default is _RAISE:
+                    raise KeyNotFound(keys[position])
+                values[position] = default
+        return values
 
     def commit(self, end_constraint: Optional["Constraint"] = None) -> StateId:
         """Commit at the most recent state satisfying the end constraint.

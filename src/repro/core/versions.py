@@ -248,6 +248,25 @@ class VersionedRecordStore:
                 return state_id, self._records.get((key, state_id))
         return None
 
+    def read_visible_many(
+        self,
+        keys: List[Any],
+        read_state: State,
+        dag: StateDAG,
+        scanned: Optional[List[int]] = None,
+        hits: Optional[List[int]] = None,
+    ) -> List[Optional[Tuple[StateId, Any]]]:
+        """Batched :meth:`read_visible`; results align with ``keys``.
+
+        Flat storage walks the same lists either way — the batch entry
+        point exists so callers can hand whole read sets down and let
+        the sharded/process-level stores scatter them in parallel.
+        """
+        return [
+            self.read_visible(key, read_state, dag, scanned, hits)
+            for key in keys
+        ]
+
     def read_candidates(
         self,
         key: Any,

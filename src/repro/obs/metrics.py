@@ -491,7 +491,9 @@ METRIC_NAMES: Dict[str, str] = {
     "tardis_branch_count": "current leaf count (gauge)",
     "tardis_branch_fork_total": "forks created by concurrent commits",
     "tardis_branch_merge_total": "merge commits",
+    "tardis_commit_cross_shard_total": "commits whose write set spanned shards",
     "tardis_commit_ripple_steps": "states rippled past per commit",
+    "tardis_commit_shard_abort_total": "commits aborted by a failed shard prepare",
     "tardis_dag_depth": "longest root-to-leaf path (gauge)",
     "tardis_dag_retro_updates_total": "retroactive path_mask widenings",
     "tardis_dag_splice_total": "states spliced out of the DAG",
@@ -528,6 +530,7 @@ METRIC_NAMES: Dict[str, str] = {
     "tardis_repl_lag_total": "total cross-site replication lag (gauge)",
     "tardis_repl_remote_apply_total": "remote commit records applied",
     "tardis_repl_send_total": "replication messages sent",
+    "tardis_shard_access_total": "record accesses routed to a shard (@s<i> per shard)",
     "tardis_spec_confirm_total": "speculative executions confirmed",
     "tardis_spec_misspec_total": "misspeculations detected",
     "tardis_spec_reexec_total": "speculative re-executions",

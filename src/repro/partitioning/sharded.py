@@ -2,30 +2,73 @@
 
 ``ShardedRecordStore`` exposes the same interface as
 :class:`~repro.core.versions.VersionedRecordStore` but routes every key
-to one of N shards by stable hash; each shard keeps its own key-version
-skip lists and record B-tree, as separate storage nodes would.
+through a :class:`~repro.partitioning.router.ShardRouter` to one of N
+shards; each shard keeps its own key-version skip lists and record
+engine, as separate storage nodes would. The process-level variant
+(:class:`~repro.partitioning.workers.ProcShardedRecordStore`) speaks
+the same interface over worker pipes.
+
+Both sharded stores add the *staged commit* contract the
+:class:`~repro.core.commit.CommitPipeline` drives:
+
+* ``prepare_commit(writes)`` groups the write set into per-shard
+  batches (ascending shard order, the router's ``plan`` order) and
+  validates every target shard *before* the DAG state exists;
+* ``install_commit(staged, state)`` inserts the record versions once
+  the state is installed;
+* ``abandon_commit(staged)`` releases a prepared batch when the commit
+  cannot proceed.
 
 ``PartitionedStore`` is a drop-in :class:`~repro.core.store.TardisStore`
 whose storage layer is sharded. All consistency decisions (read-state
 selection, commit rippling, branching, merging, GC marking) happen at
 the transaction manager where the State DAG lives; only record reads,
-writes, and pruning fan out to shards. Per-shard access counters make
-the data distribution observable.
+writes, and pruning fan out to shards. Per-shard access counters are
+exported as the ``tardis_shard_access_total`` metric (one ``@s<i>``
+series per shard) so the data distribution is observable.
 """
 
 from __future__ import annotations
 
-import zlib
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.state_dag import State, StateDAG
 from repro.core.store import TardisStore
 from repro.core.versions import VersionedRecordStore
+from repro.obs import metrics as _met
+from repro.partitioning.router import (
+    ShardRouter,
+    default_shard_of,
+    legacy_shard_of,
+)
+
+__all__ = [
+    "default_shard_of",
+    "legacy_shard_of",
+    "StagedShardCommit",
+    "ShardedRecordStore",
+    "PartitionedStore",
+]
 
 
-def default_shard_of(key: Any, n_shards: int) -> int:
-    """Stable hash partitioning (CRC32 of the key's repr)."""
-    return zlib.crc32(repr(key).encode()) % n_shards
+class StagedShardCommit:
+    """A write set grouped into per-shard batches, ready to install.
+
+    ``plan`` is ``[(shard_index, [(key, value), ...]), ...]`` in
+    ascending shard order; ``token`` identifies the staged buffers at
+    process-level workers (unused by the in-process store).
+    """
+
+    __slots__ = ("plan", "token")
+
+    def __init__(self, plan: List[Tuple[int, List[Tuple[Any, Any]]]], token: int = 0):
+        self.plan = plan
+        self.token = token
+
+    @property
+    def n_shards(self) -> int:
+        """Number of distinct shards the commit touches."""
+        return len(self.plan)
 
 
 class ShardedRecordStore:
@@ -45,30 +88,55 @@ class ShardedRecordStore:
         seed: Optional[int] = 0,
         shard_of=None,
         cache: bool = True,
+        engine: Any = None,
+        replicas: int = 128,
     ):
         if n_shards < 1:
             raise ValueError("need at least one shard")
         self.n_shards = n_shards
-        self._shard_of = shard_of or default_shard_of
+        self.router = ShardRouter(n_shards, replicas=replicas, shard_of=shard_of)
         self.cache_enabled = cache
+        self._btree_degree = btree_degree
+        self._seed = seed
+        self._engine = engine
         self.shards: List[VersionedRecordStore] = [
-            VersionedRecordStore(
-                btree_degree=btree_degree,
-                seed=None if seed is None else seed + 1000 * i,
-                cache=cache,
-            )
-            for i in range(n_shards)
+            self._make_shard(i) for i in range(n_shards)
         ]
         #: per-shard operation counters (reads + writes), for balance
         #: inspection and the simulation's shard-RPC accounting.
         self.accesses: List[int] = [0] * n_shards
+        #: hot per-shard metric counters, re-resolved when the default
+        #: registry changes identity (benchmark harnesses swap it).
+        self._hot_registry = None
+        self._hot_access: List[Any] = []
+
+    def _make_shard(self, index: int) -> VersionedRecordStore:
+        return VersionedRecordStore(
+            btree_degree=self._btree_degree,
+            seed=None if self._seed is None else self._seed + 1000 * index,
+            cache=self.cache_enabled,
+            engine=self._engine,
+        )
 
     def shard_index(self, key: Any) -> int:
-        return self._shard_of(key, self.n_shards)
+        return self.router.shard_of(key)
+
+    def _note_access(self, index: int, count: int = 1) -> None:
+        self.accesses[index] += count
+        m = _met.DEFAULT
+        if not m.enabled:
+            return
+        if self._hot_registry is not m:
+            self._hot_registry = m
+            self._hot_access = [
+                m.counter("tardis_shard_access_total@s%d" % i)
+                for i in range(self.n_shards)
+            ]
+        self._hot_access[index].inc(count)
 
     def _shard(self, key: Any) -> VersionedRecordStore:
         index = self.shard_index(key)
-        self.accesses[index] += 1
+        self._note_access(index)
         return self.shards[index]
 
     # -- VersionedRecordStore interface ------------------------------------
@@ -80,6 +148,20 @@ class ShardedRecordStore:
         self, key, read_state: State, dag: StateDAG, scanned=None, hits=None
     ):
         return self._shard(key).read_visible(key, read_state, dag, scanned, hits)
+
+    def read_visible_many(
+        self, keys, read_state: State, dag: StateDAG, scanned=None, hits=None
+    ) -> List[Optional[Tuple[Any, Any]]]:
+        """Batched :meth:`read_visible`; results align with ``keys``.
+
+        The in-process store gains nothing from batching (same walks,
+        same interpreter) — the method exists so callers can hand whole
+        read sets to the storage layer and let the process-level store
+        scatter them across workers in parallel.
+        """
+        return [
+            self.read_visible(key, read_state, dag, scanned, hits) for key in keys
+        ]
 
     def read_candidates(
         self, key, read_states, dag: StateDAG, scanned=None, hits=None
@@ -97,6 +179,33 @@ class ShardedRecordStore:
             for field in ("size", "hits", "misses", "invalidations"):
                 totals[field] += info[field]
         return totals
+
+    # -- staged commits (driven by the CommitPipeline) ---------------------
+
+    def prepare_commit(self, writes: Dict[Any, Any]) -> StagedShardCommit:
+        """Group ``writes`` into the deterministic per-shard plan.
+
+        In-process shards cannot fail independently, so preparation is
+        pure planning; the process-level store overrides this with real
+        staging and liveness checks.
+        """
+        batches: Dict[int, List[Tuple[Any, Any]]] = {}
+        for key, value in writes.items():
+            batches.setdefault(self.shard_index(key), []).append((key, value))
+        return StagedShardCommit(sorted(batches.items()))
+
+    def install_commit(self, staged: StagedShardCommit, state: State) -> None:
+        """Insert the staged record versions, ascending shard order."""
+        for shard_index, items in staged.plan:
+            shard = self.shards[shard_index]
+            self._note_access(shard_index, len(items))
+            for key, value in items:
+                shard.write(key, state.id, value)
+
+    def abandon_commit(self, staged: StagedShardCommit) -> None:
+        """Release a prepared commit that will not install (no-op here)."""
+
+    # -- maintenance -------------------------------------------------------
 
     def promote_and_prune(self, dag: StateDAG) -> Tuple[int, int]:
         promoted = dropped = 0
@@ -137,6 +246,38 @@ class ShardedRecordStore:
         """Records per shard."""
         return [s.num_records() for s in self.shards]
 
+    def rebalance(self, n_shards: int) -> List[Tuple[Any, int, int]]:
+        """Re-shard in place to ``n_shards`` (offline migration helper).
+
+        Uses the router's :meth:`~ShardRouter.migration_plan` to find
+        keys whose owner changes, then moves each key's whole version
+        list and records to the new shard. Returns the executed plan.
+        The caller must hold the store lock and quiesce transactions —
+        this is the maintenance-window path, not an online migration.
+        """
+        target = self.router.rebalanced(n_shards)
+        all_keys = list(self.keys())
+        plan = self.router.migration_plan(all_keys, target)
+        while len(self.shards) < n_shards:
+            self.shards.append(self._make_shard(len(self.shards)))
+            self.accesses.append(0)
+        for key, old, new in plan:
+            source, dest = self.shards[old], self.shards[new]
+            for state_id in source.versions_of(key):
+                dest.write(key, state_id, source.records.get((key, state_id)))
+                source.records.remove((key, state_id))
+            source._versions.pop(key, None)
+        if len(self.shards) > n_shards:
+            for shard in self.shards[n_shards:]:
+                if shard.num_records():
+                    raise ValueError("shrink left records behind")
+            del self.shards[n_shards:]
+            del self.accesses[n_shards:]
+        self.n_shards = n_shards
+        self.router = target
+        self._hot_registry = None  # per-shard counter list changed shape
+        return plan
+
 
 class _ShardedRecords:
     """Facade matching the BTree ``get``/``__len__`` used by peers/fetch."""
@@ -154,30 +295,34 @@ class _ShardedRecords:
 
 
 class PartitionedStore(TardisStore):
-    """One datacenter: a transaction manager over N record shards."""
+    """One datacenter: a transaction manager over N record shards.
+
+    ``shard_workers`` selects the process-level plane (each worker owns
+    ``n_shards / workers`` shards in its own interpreter); without it
+    the shards live in-process. Either way the DAG, sessions, and
+    constraint logic stay here, at the transaction manager.
+    """
 
     def __init__(
         self,
         site: str,
         n_shards: int = 4,
         shard_of=None,
+        shard_workers: Optional[int] = None,
         **kwargs,
     ):
-        btree_degree = kwargs.pop("btree_degree", 16)
-        seed = kwargs.pop("seed", 0)
-        super().__init__(site, btree_degree=btree_degree, seed=seed, **kwargs)
-        # Replace the monolithic storage layer with the sharded one; the
-        # consistency layer (DAG, constraints, sessions) is untouched.
-        # The commit pipeline must be repointed too — it holds the
-        # version-store reference used for write installation.
-        self.versions = ShardedRecordStore(
-            n_shards=n_shards,
-            btree_degree=btree_degree,
-            seed=seed,
-            shard_of=shard_of,
-            cache=self.read_cache,
+        kwargs.setdefault(
+            "engine", "proc-sharded" if shard_workers else "sharded"
         )
-        self.pipeline.versions = self.versions
+        kwargs.setdefault("btree_degree", 16)
+        kwargs.setdefault("seed", 0)
+        super().__init__(
+            site,
+            shards=n_shards,
+            shard_workers=shard_workers,
+            shard_of=shard_of,
+            **kwargs,
+        )
 
     @property
     def n_shards(self) -> int:

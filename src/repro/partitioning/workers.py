@@ -1,0 +1,781 @@
+"""Process-level shard workers: the ``proc-sharded`` storage plane.
+
+The in-process :class:`~repro.partitioning.sharded.ShardedRecordStore`
+shards keys but still runs every version walk under one GIL. This
+module moves the shards into worker *processes*: N workers, each
+holding the record shards it owns (one
+:class:`~repro.core.versions.VersionedRecordStore` per shard, so a
+worker can own several shards — the partial-replication shape), driven
+over duplex pipes with batched request/response messages.
+
+The hard part is that a shard worker must answer visibility questions
+— *is version state x an ancestor of read state y?* — without holding
+the State DAG, which lives (and mutates) in the coordinator. The
+worker keeps a :class:`_ShardDagView`: a mask table mapping every
+version state id it stores to its resolved ``(live_id, path_mask)``
+pair, enough to run Figure 7's ``descendant_check`` and the promotion
+logic verbatim against the real ``VersionedRecordStore`` code. The
+coordinator owns keeping that table honest:
+
+* every write/install ships the committing state's ``(id, mask)``;
+* every read carries the read state's ``(id, mask)`` inline;
+* when the DAG's ``(destructive_gen, retro_updates)`` fingerprint
+  moves (GC splice-out, fork retirement, retroactive mask widening),
+  the coordinator re-resolves every id it ever shipped to that worker
+  and sends the delta — plus a destructive bump so the worker's
+  visibility cache drops, mirroring the flat store's epoch rule.
+
+Failure model: a dead or unresponsive worker surfaces as
+:class:`~repro.errors.ShardUnavailableError` on reads and turns a
+commit into a typed :class:`~repro.errors.CrossShardAbort` *before*
+the DAG state is created (the CommitPipeline prepares shard batches
+first), so a worker crash never leaves a committed-looking state whose
+writes were lost. Multi-shard commits stage their batches on every
+target worker in ascending shard order, then install with the state id
+once the DAG accepted the commit; single-shard commits skip staging
+and install in one hop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.state_dag import State, StateDAG
+from repro.core.versions import VersionedRecordStore
+from repro.errors import GarbageCollectedError, ShardError, ShardUnavailableError
+from repro.obs import metrics as _met
+from repro.partitioning.router import ShardRouter
+from repro.partitioning.sharded import StagedShardCommit
+
+__all__ = ["ProcShardedRecordStore"]
+
+#: default seconds to wait for one worker reply before declaring the
+#: worker dead (covers scheduling noise; real replies are sub-ms).
+WORKER_TIMEOUT = 30.0
+
+
+class _StateView:
+    """The two fields of a State that visibility checks consume."""
+
+    __slots__ = ("id", "path_mask")
+
+    def __init__(self, state_id, path_mask):
+        self.id = state_id
+        self.path_mask = path_mask
+
+
+class _ShardDagView:
+    """The worker-side stand-in for the coordinator's StateDAG.
+
+    Implements exactly the surface ``VersionedRecordStore`` touches:
+    ``resolve`` (promotion-aware, raising
+    :class:`~repro.errors.GarbageCollectedError` for dropped ids),
+    ``descendant_check`` (Figure 7 mask-subset test), and the
+    destructive generation that gates the visibility cache.
+    """
+
+    __slots__ = ("destructive_gen", "table")
+
+    def __init__(self):
+        self.destructive_gen = 0
+        #: state id -> (live_id, path_mask) | None (GC'd without heir).
+        self.table: Dict[Any, Optional[Tuple[Any, int]]] = {}
+
+    def apply_sync(self, masks, bump) -> None:
+        self.table.update(masks)
+        if bump:
+            self.destructive_gen += 1
+
+    def resolve(self, state_id) -> _StateView:
+        entry = self.table.get(state_id)
+        if entry is None:
+            raise GarbageCollectedError(state_id)
+        return _StateView(entry[0], entry[1])
+
+    def descendant_check(self, x, y) -> bool:
+        if x.id == y.id:
+            return True
+        if x.id > y.id:
+            return False
+        x_mask = x.path_mask
+        return x_mask & y.path_mask == x_mask
+
+    def mark_destructive(self) -> None:
+        self.destructive_gen += 1
+
+
+def _dispatch(stores, view, staged, cmd):
+    """Execute one command tuple against this worker's shard stores."""
+    op = cmd[0]
+    if op == "read_many":
+        _, shard, keys, rid, rmask = cmd
+        read_state = _StateView(rid, rmask)
+        scanned, hits = [0], [0]
+        store = stores[shard]
+        results = [
+            store.read_visible(key, read_state, view, scanned, hits)
+            for key in keys
+        ]
+        return results, scanned[0], hits[0]
+    if op == "write":
+        _, shard, items, sid = cmd
+        store = stores[shard]
+        for key, value in items:
+            store.write(key, sid, value)
+        return len(items)
+    if op == "stage":
+        _, shard, token, items = cmd
+        staged[(shard, token)] = items
+        return True
+    if op == "install":
+        _, shard, token, sid = cmd
+        store = stores[shard]
+        for key, value in staged.pop((shard, token)):
+            store.write(key, sid, value)
+        return True
+    if op == "abandon":
+        _, shard, token = cmd
+        staged.pop((shard, token), None)
+        return True
+    if op == "read_candidates":
+        _, shard, key, states = cmd
+        views = [_StateView(sid, mask) for sid, mask in states]
+        scanned, hits = [0], [0]
+        result = stores[shard].read_candidates(key, views, view, scanned, hits)
+        return result, scanned[0], hits[0]
+    if op == "promote":
+        promoted = dropped = 0
+        for store in stores.values():
+            p, d = store.promote_and_prune(view)
+            promoted += p
+            dropped += d
+        return promoted, dropped
+    if op == "items_at":
+        _, shard, sid, mask = cmd
+        return list(stores[shard].items_at(_StateView(sid, mask), view))
+    if op == "num_versions":
+        return stores[cmd[1]].num_versions(cmd[2])
+    if op == "versions_of":
+        return stores[cmd[1]].versions_of(cmd[2])
+    if op == "keys":
+        return list(stores[cmd[1]].keys())
+    if op == "record_get":
+        _, shard, composite, default = cmd
+        return stores[shard].records.get(composite, default)
+    if op == "stats":
+        _, shard = cmd
+        store = stores[shard]
+        return {
+            "records": store.num_records(),
+            "keys": store.num_keys(),
+            "cache": store.cache_info(),
+        }
+    if op == "ping":
+        return "pong"
+    raise ValueError("unknown shard worker op %r" % (op,))
+
+
+def shard_worker_main(conn, spec) -> None:
+    """Entry point of one shard worker process.
+
+    ``spec`` carries the shards this worker owns and the per-shard
+    engine options; everything must survive pickling through the spawn
+    start method, so engines are named, never instances. The loop
+    applies the piggybacked mask sync, runs the command batch, and
+    replies ``(batch_id, ok, payload)``; any exception is marshalled
+    back for the coordinator to re-raise typed, because a worker that
+    dies on a bad command would turn one poisoned request into a whole
+    dead shard.
+    """
+    view = _ShardDagView()
+    stores: Dict[int, VersionedRecordStore] = {}
+    seed = spec["seed"]
+    for shard in spec["shards"]:
+        stores[shard] = VersionedRecordStore(
+            btree_degree=spec["btree_degree"],
+            seed=None if seed is None else seed + 1000 * shard,
+            cache=spec["cache"],
+            engine=spec["engine"],
+        )
+    staged: Dict[Tuple[int, int], List[Tuple[Any, Any]]] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:  # graceful shutdown sentinel
+            break
+        batch_id, sync, cmds = message
+        if sync is not None:
+            view.apply_sync(sync[0], sync[1])
+        ok = True
+        payload: Any
+        try:
+            payload = [_dispatch(stores, view, staged, cmd) for cmd in cmds]
+        except GarbageCollectedError as exc:
+            ok, payload = False, ("gc", exc.state_id)
+        # Marshalled and re-raised typed by the coordinator's collect();
+        # swallowing here keeps the shard alive across a poisoned request.
+        except Exception as exc:  # tardis: ignore[bare-except]
+            ok, payload = False, ("error", "%s: %s" % (type(exc).__name__, exc))
+        try:
+            conn.send((batch_id, ok, payload))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class _WorkerHandle:
+    """Coordinator-side endpoint of one worker: pipe + liveness state.
+
+    Requests and replies travel strictly in order on the duplex pipe;
+    ``request`` sends, ``collect`` receives the oldest outstanding
+    reply — the split is what lets scatter/gather sends go out to every
+    worker before any reply is awaited.
+    """
+
+    __slots__ = ("index", "shards", "process", "conn", "alive", "_inflight")
+
+    def __init__(self, index, shards, process, conn):
+        self.index = index
+        self.shards = shards
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        self._inflight: List[int] = []
+
+    def check_alive(self) -> None:
+        if not self.alive or not self.process.is_alive():
+            self.alive = False
+            raise ShardUnavailableError(self.index, "worker process is dead")
+
+    def request(self, batch_id, sync, cmds) -> None:
+        self.check_alive()
+        try:
+            self.conn.send((batch_id, sync, cmds))
+        except (BrokenPipeError, OSError) as exc:
+            self.alive = False
+            raise ShardUnavailableError(self.index, "send failed: %s" % exc)
+        self._inflight.append(batch_id)
+
+    def collect(self, timeout):
+        batch_id = self._inflight.pop(0)
+        try:
+            if not self.conn.poll(timeout):
+                self.alive = False
+                raise ShardUnavailableError(
+                    self.index, "no reply within %.1fs" % timeout
+                )
+            reply = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            self.alive = False
+            raise ShardUnavailableError(self.index, "worker died: %s" % exc)
+        reply_id, ok, payload = reply
+        if reply_id != batch_id:
+            self.alive = False
+            raise ShardUnavailableError(
+                self.index, "protocol desync (%r != %r)" % (reply_id, batch_id)
+            )
+        if not ok:
+            kind, detail = payload
+            if kind == "gc":
+                raise GarbageCollectedError(detail)
+            raise ShardError("worker %d: %s" % (self.index, detail))
+        return payload
+
+    def shutdown(self, timeout=2.0) -> bool:
+        """Graceful stop; returns True when the process exited in time."""
+        if self.process.is_alive() and self.alive:
+            try:
+                self.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        self.process.join(timeout)
+        graceful = not self.process.is_alive()
+        if not graceful:
+            self.process.terminate()
+            self.process.join(1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(1.0)
+        self.conn.close()
+        self.alive = False
+        return graceful
+
+    def kill(self) -> None:
+        """Hard-kill the worker (fault injection for tests)."""
+        self.process.kill()
+        self.process.join(2.0)
+        self.alive = False
+
+
+class ProcShardedRecordStore:
+    """N record shards spread over worker processes, one pipe each.
+
+    Speaks the same interface as
+    :class:`~repro.partitioning.sharded.ShardedRecordStore` (reads,
+    staged commits, promotion, introspection) so
+    ``engine="proc-sharded"`` is a drop-in at the store layer. With
+    ``n_shards > n_workers`` worker ``w`` owns shards ``{i : i %
+    n_workers == w}`` — the partial-replication shape where one
+    process serves several logical shards.
+
+    Every method runs under the owning TardisStore's lock (external
+    guard below); the pipes themselves are single-owner so there is no
+    coordinator-side concurrency to manage beyond that.
+    """
+
+    # Guarded by the owning TardisStore's ``_lock``, like the flat and
+    # in-process sharded stores; enforced dynamically by the lockset
+    # checker, not the static rule.
+    _GUARDED_BY = {
+        "accesses": "external:TardisStore._lock",
+        "_handles": "external:TardisStore._lock",
+        "_shipped": "external:TardisStore._lock",
+        "_fingerprint": "external:TardisStore._lock",
+        "_batch_ids": "external:TardisStore._lock",
+        "_tokens": "external:TardisStore._lock",
+        "_dag": "external:TardisStore._lock",
+    }
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        n_workers: Optional[int] = None,
+        btree_degree: int = 16,
+        seed: Optional[int] = 0,
+        shard_of=None,
+        cache: bool = True,
+        engine: Any = None,
+        replicas: int = 128,
+        timeout: float = WORKER_TIMEOUT,
+        start_method: str = "spawn",
+    ):
+        if n_workers is None:
+            n_workers = n_shards
+        if n_shards < 1 or n_workers < 1:
+            raise ValueError("need at least one shard and one worker")
+        if n_workers > n_shards:
+            raise ValueError(
+                "%d workers for %d shards: a worker must own at least one shard"
+                % (n_workers, n_shards)
+            )
+        if engine is not None and not isinstance(engine, str):
+            raise ValueError(
+                "proc-sharded workers need a *named* engine (instances "
+                "cannot cross the process boundary): %r" % (engine,)
+            )
+        self.n_shards = n_shards
+        self.n_workers = n_workers
+        self.router = ShardRouter(n_shards, replicas=replicas, shard_of=shard_of)
+        self.cache_enabled = cache
+        self.timeout = timeout
+        self.accesses: List[int] = [0] * n_shards
+        self._hot_registry = None
+        self._hot_access: List[Any] = []
+        #: DAG bound by the owning store (bind_dag); mask syncs and
+        #: commit installs resolve against it.
+        self._dag: Optional[StateDAG] = None
+        #: per worker: {state_id: (live_id, mask) | None} as last shipped.
+        self._shipped: List[Dict[Any, Optional[Tuple[Any, int]]]] = [
+            {} for _ in range(n_workers)
+        ]
+        #: per worker: (destructive_gen, retro_updates) at the last sync.
+        self._fingerprint: List[Tuple[int, int]] = [(0, 0)] * n_workers
+        self._batch_ids = itertools.count(1)
+        self._tokens = itertools.count(1)
+        ctx = multiprocessing.get_context(start_method)
+        self._handles: List[_WorkerHandle] = []
+        for worker in range(n_workers):
+            owned = [s for s in range(n_shards) if s % n_workers == worker]
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            spec = {
+                "shards": owned,
+                "btree_degree": btree_degree,
+                "seed": seed,
+                "cache": cache,
+                "engine": engine or "btree",
+            }
+            process = ctx.Process(
+                target=shard_worker_main,
+                args=(child_conn, spec),
+                name="tardis-shard-%d" % worker,
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._handles.append(
+                _WorkerHandle(worker, owned, process, parent_conn)
+            )
+        self._closed = False
+        self.leaked_workers = 0
+
+    # -- routing helpers ---------------------------------------------------
+
+    def bind_dag(self, dag: StateDAG) -> None:
+        """Attach the coordinator's DAG (mask-sync source of truth)."""
+        self._dag = dag
+
+    def shard_index(self, key: Any) -> int:
+        return self.router.shard_of(key)
+
+    def worker_of(self, shard: int) -> _WorkerHandle:
+        return self._handles[shard % self.n_workers]
+
+    def _note_access(self, index: int, count: int = 1) -> None:
+        self.accesses[index] += count
+        m = _met.DEFAULT
+        if not m.enabled:
+            return
+        if self._hot_registry is not m:
+            self._hot_registry = m
+            self._hot_access = [
+                m.counter("tardis_shard_access_total@s%d" % i)
+                for i in range(self.n_shards)
+            ]
+        self._hot_access[index].inc(count)
+
+    # -- mask synchronization ----------------------------------------------
+
+    def _sync_for(self, handle: _WorkerHandle, extra=None):
+        """The piggyback sync payload for one outbound batch, or None.
+
+        ``extra`` maps state ids the batch itself introduces (the
+        committing state) to their ``(live_id, mask)`` entries. The
+        expensive part — re-resolving every shipped id — only runs when
+        the DAG's destructive/retro fingerprint moved since the last
+        batch to this worker, which happens at GC/fork-retire/retro
+        rates, not per commit.
+        """
+        dag = self._dag
+        shipped = self._shipped[handle.index]
+        masks: Dict[Any, Optional[Tuple[Any, int]]] = {}
+        bump = False
+        if dag is not None:
+            fingerprint = (dag.destructive_gen, dag.retro_updates)
+            if self._fingerprint[handle.index] != fingerprint:
+                bump = (
+                    dag.destructive_gen
+                    != self._fingerprint[handle.index][0]
+                )
+                for sid in list(shipped):
+                    try:
+                        live = dag.resolve(sid)
+                        entry = (live.id, live.path_mask)
+                    except GarbageCollectedError:
+                        entry = None
+                    if shipped[sid] != entry:
+                        shipped[sid] = entry
+                        masks[sid] = entry
+                self._fingerprint[handle.index] = fingerprint
+        if extra:
+            for sid, entry in extra.items():
+                if shipped.get(sid, False) != entry:
+                    shipped[sid] = entry
+                    masks[sid] = entry
+        if not masks and not bump:
+            return None
+        return (masks, bump)
+
+    def _call(self, shard: int, cmd, extra=None):
+        """One command to one shard's worker, synchronously."""
+        handle = self.worker_of(shard)
+        batch_id = next(self._batch_ids)
+        handle.request(batch_id, self._sync_for(handle, extra), [cmd])
+        return handle.collect(self.timeout)[0]
+
+    # -- VersionedRecordStore interface ------------------------------------
+
+    def write(self, key: Any, state_id, value: Any) -> None:
+        """Single-version install (recovery/replication replay path)."""
+        shard = self.shard_index(key)
+        self._note_access(shard)
+        extra = self._state_entry(state_id)
+        self._call(shard, ("write", shard, [(key, value)], state_id), extra)
+
+    def _state_entry(self, state_id):
+        dag = self._dag
+        if dag is None:
+            return None
+        try:
+            live = dag.resolve(state_id)
+        except GarbageCollectedError:
+            return {state_id: None}
+        return {state_id: (live.id, live.path_mask)}
+
+    def read_visible(
+        self, key, read_state: State, dag: StateDAG, scanned=None, hits=None
+    ):
+        shard = self.shard_index(key)
+        self._note_access(shard)
+        results, n_scanned, n_hits = self._call(
+            shard,
+            ("read_many", shard, [key], read_state.id, read_state.path_mask),
+        )
+        if scanned is not None:
+            scanned[0] += n_scanned
+        if hits is not None:
+            hits[0] += n_hits
+        return results[0]
+
+    def read_visible_many(
+        self, keys, read_state: State, dag: StateDAG, scanned=None, hits=None
+    ) -> List[Optional[Tuple[Any, Any]]]:
+        """Scatter a read batch across workers, gather in send order.
+
+        This is the parallel read path: every involved worker walks its
+        shards' version lists concurrently in its own interpreter while
+        the coordinator waits, so a batch over W workers costs roughly
+        1/W of the in-process walk time plus one round trip.
+        """
+        keys = list(keys)
+        out: List[Any] = [None] * len(keys)
+        per_shard: Dict[int, Tuple[List[int], List[Any]]] = {}
+        for position, key in enumerate(keys):
+            shard = self.shard_index(key)
+            positions, batch = per_shard.setdefault(shard, ([], []))
+            positions.append(position)
+            batch.append(key)
+        per_worker: Dict[int, List[int]] = {}
+        for shard in sorted(per_shard):
+            self._note_access(shard, len(per_shard[shard][1]))
+            per_worker.setdefault(shard % self.n_workers, []).append(shard)
+        sends = []
+        for worker_index in sorted(per_worker):
+            handle = self._handles[worker_index]
+            shards = per_worker[worker_index]
+            cmds = [
+                (
+                    "read_many",
+                    shard,
+                    per_shard[shard][1],
+                    read_state.id,
+                    read_state.path_mask,
+                )
+                for shard in shards
+            ]
+            batch_id = next(self._batch_ids)
+            handle.request(batch_id, self._sync_for(handle), cmds)
+            sends.append((handle, shards))
+        for handle, shards in sends:
+            payload = handle.collect(self.timeout)
+            for shard, (results, n_scanned, n_hits) in zip(shards, payload):
+                positions = per_shard[shard][0]
+                for position, hit in zip(positions, results):
+                    out[position] = hit
+                if scanned is not None:
+                    scanned[0] += n_scanned
+                if hits is not None:
+                    hits[0] += n_hits
+        return out
+
+    def read_candidates(
+        self, key, read_states, dag: StateDAG, scanned=None, hits=None
+    ):
+        shard = self.shard_index(key)
+        self._note_access(shard)
+        states = [(state.id, state.path_mask) for state in read_states]
+        result, n_scanned, n_hits = self._call(
+            shard, ("read_candidates", shard, key, states)
+        )
+        if scanned is not None:
+            scanned[0] += n_scanned
+        if hits is not None:
+            hits[0] += n_hits
+        return result
+
+    # -- staged commits (driven by the CommitPipeline) ---------------------
+
+    def prepare_commit(self, writes: Dict[Any, Any]) -> StagedShardCommit:
+        """Plan, liveness-check, and (multi-shard) stage the write set.
+
+        Runs *before* the DAG state exists. Single-shard commits only
+        verify the worker is alive — the write itself goes out in one
+        hop at install time. Multi-shard commits ship each per-shard
+        batch to its worker as a staged buffer, in ascending shard
+        order; a failure abandons every already-staged buffer and
+        raises, leaving nothing installed anywhere.
+        """
+        batches: Dict[int, List[Tuple[Any, Any]]] = {}
+        for key, value in writes.items():
+            batches.setdefault(self.shard_index(key), []).append((key, value))
+        plan = sorted(batches.items())
+        staged = StagedShardCommit(plan, token=next(self._tokens))
+        if len(plan) <= 1:
+            for shard_index, _items in plan:
+                self.worker_of(shard_index).check_alive()
+            return staged
+        staged_shards: List[int] = []
+        try:
+            for shard_index, items in plan:
+                self._call(
+                    shard_index, ("stage", shard_index, staged.token, items)
+                )
+                staged_shards.append(shard_index)
+        except (ShardError, ShardUnavailableError):
+            for shard_index in staged_shards:
+                try:
+                    self._call(
+                        shard_index, ("abandon", shard_index, staged.token)
+                    )
+                except (ShardError, ShardUnavailableError):
+                    pass  # that worker is gone; its buffer died with it
+            raise
+        return staged
+
+    def install_commit(self, staged: StagedShardCommit, state: State) -> None:
+        """Install the prepared batches under the committed state id.
+
+        Single-shard: one combined write message (the one-hop fast
+        path). Multi-shard: an install message per staged buffer, in
+        the same ascending shard order as prepare. A worker death in
+        this window (after the DAG accepted the state) marks the shard
+        unavailable and raises; the shard was already lost, and every
+        subsequent operation touching it fails the same way.
+        """
+        extra = {state.id: (state.id, state.path_mask)}
+        if staged.n_shards == 1:
+            shard_index, items = staged.plan[0]
+            self._note_access(shard_index, len(items))
+            self._call(
+                shard_index, ("write", shard_index, items, state.id), extra
+            )
+            return
+        sends = []
+        for shard_index, items in staged.plan:
+            self._note_access(shard_index, len(items))
+            handle = self.worker_of(shard_index)
+            batch_id = next(self._batch_ids)
+            handle.request(
+                batch_id,
+                self._sync_for(handle, extra),
+                [("install", shard_index, staged.token, state.id)],
+            )
+            sends.append(handle)
+        for handle in sends:
+            handle.collect(self.timeout)
+
+    def abandon_commit(self, staged: StagedShardCommit) -> None:
+        """Drop staged buffers for a commit that will not install."""
+        if staged.n_shards <= 1:
+            return
+        for shard_index, _items in staged.plan:
+            try:
+                self._call(shard_index, ("abandon", shard_index, staged.token))
+            except (ShardError, ShardUnavailableError):
+                pass
+
+    # -- maintenance -------------------------------------------------------
+
+    def promote_and_prune(self, dag: StateDAG) -> Tuple[int, int]:
+        """Run record promotion on every worker (its own walk, §6.3)."""
+        promoted = dropped = 0
+        for handle in self._handles:
+            batch_id = next(self._batch_ids)
+            handle.request(batch_id, self._sync_for(handle), [("promote",)])
+            p, d = handle.collect(self.timeout)[0]
+            promoted += p
+            dropped += d
+        if promoted or dropped:
+            # Workers bumped their own view epochs inside promote; this
+            # bump keeps the coordinator DAG's watermark in step (the
+            # flat store does the same after rewriting version lists).
+            dag.mark_destructive()
+        return promoted, dropped
+
+    def cache_info(self):
+        totals = {"enabled": self.cache_enabled, "size": 0, "hits": 0,
+                  "misses": 0, "invalidations": 0}
+        for shard in range(self.n_shards):
+            info = self._call(shard, ("stats", shard))["cache"]
+            for field in ("size", "hits", "misses", "invalidations"):
+                totals[field] += info[field]
+        return totals
+
+    def num_records(self) -> int:
+        return sum(
+            self._call(shard, ("stats", shard))["records"]
+            for shard in range(self.n_shards)
+        )
+
+    def num_keys(self) -> int:
+        return sum(
+            self._call(shard, ("stats", shard))["keys"]
+            for shard in range(self.n_shards)
+        )
+
+    def num_versions(self, key: Any) -> int:
+        shard = self.shard_index(key)
+        return self._call(shard, ("num_versions", shard, key))
+
+    def keys(self):
+        for shard in range(self.n_shards):
+            yield from self._call(shard, ("keys", shard))
+
+    def versions_of(self, key: Any) -> List:
+        shard = self.shard_index(key)
+        return self._call(shard, ("versions_of", shard, key))
+
+    def items_at(self, state: State, dag: StateDAG):
+        for shard in range(self.n_shards):
+            yield from self._call(
+                shard, ("items_at", shard, state.id, state.path_mask)
+            )
+
+    @property
+    def records(self):
+        return _ProcShardedRecords(self)
+
+    def balance(self) -> List[int]:
+        return [
+            self._call(shard, ("stats", shard))["records"]
+            for shard in range(self.n_shards)
+        ]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def workers_alive(self) -> int:
+        return sum(1 for handle in self._handles if handle.process.is_alive())
+
+    def kill_worker(self, worker_index: int) -> None:
+        """Fault injection: hard-kill one worker (tests, chaos runs)."""
+        self._handles[worker_index].kill()
+
+    def close(self) -> int:
+        """Stop every worker; returns how many had to be force-killed.
+
+        Idempotent. A worker that exits on the shutdown sentinel within
+        its grace period is a clean stop; anything still running after
+        that is terminated and counted in ``leaked_workers`` — the
+        number the serve report and the CI smoke gate watch.
+        """
+        if self._closed:
+            return self.leaked_workers
+        self._closed = True
+        leaked = 0
+        for handle in self._handles:
+            was_alive = handle.process.is_alive()
+            graceful = handle.shutdown()
+            if was_alive and not graceful:
+                leaked += 1
+        self.leaked_workers = leaked
+        return leaked
+
+
+class _ProcShardedRecords:
+    """Record-lookup facade over the workers (peers/fetch path)."""
+
+    def __init__(self, store: ProcShardedRecordStore):
+        self._store = store
+
+    def get(self, composite_key, default=None):
+        key, _sid = composite_key
+        shard = self._store.shard_index(key)
+        return self._store._call(
+            shard, ("record_get", shard, composite_key, default)
+        )
+
+    def __len__(self) -> int:
+        return self._store.num_records()

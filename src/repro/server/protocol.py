@@ -56,6 +56,7 @@ OPS = frozenset(
         "HELLO",   # handshake: bind the connection to a client session
         "BEGIN",   # start a single-mode transaction
         "READ",    # read a key inside a transaction
+        "READ_MANY",  # read a batch of keys in one round trip
         "WRITE",   # buffer a write (or delete) inside a transaction
         "COMMIT",  # commit a transaction
         "ABORT",   # abort a transaction
@@ -83,6 +84,7 @@ ERROR_CODES: Dict[str, str] = {
     "KEY_CONFLICT": "the key holds conflicting values across merged branches",
     "READ_ONLY": "a write was issued in a read-only transaction",
     "BAD_CONSTRAINT": "unknown begin/end constraint name",
+    "SHARD_UNAVAILABLE": "a shard worker died or timed out serving the request",
     "TIMEOUT": "the request exceeded the server's per-request timeout",
     "SERVER_BUSY": "the server is at its connection cap",
     "SHUTTING_DOWN": "the server is draining and takes no new work",

@@ -70,6 +70,7 @@ from repro.errors import (
     MultipleValuesError,
     ProtocolError,
     ReadOnlyViolation,
+    ShardUnavailableError,
     TardisError,
     TransactionAborted,
     TransactionClosed,
@@ -167,12 +168,22 @@ class TardisServer:
         port: int = 0,
         site: str = "net",
         engine: Optional[str] = None,
+        shards: Optional[int] = None,
+        shard_workers: Optional[int] = None,
         max_connections: int = 128,
         request_timeout: float = 5.0,
         drain_timeout: float = 5.0,
         max_frame: int = MAX_FRAME,
     ) -> None:
-        self.store = store if store is not None else TardisStore(site, engine=engine)
+        #: the server owns (and closes at shutdown) only a store it built.
+        self._owns_store = store is None
+        self.store = (
+            store
+            if store is not None
+            else TardisStore(
+                site, engine=engine, shards=shards, shard_workers=shard_workers
+            )
+        )
         self.host = host
         self.port = port  # rewritten with the bound port after start()
         self.max_connections = max_connections
@@ -277,6 +288,14 @@ class TardisServer:
         report["forced_closes"] = len(survivors)
         report["leaked_sessions"] = leaked
         report["open_states"] = len(self.store.dag)
+        # A server that built its own store tears it down too; with a
+        # proc-sharded storage layer that reaps the shard workers, and
+        # any that had to be force-killed count as leaks in the report.
+        leaked_workers = 0
+        if self._owns_store:
+            self.store.close()
+            leaked_workers = self.store.leaked_workers
+        report["leaked_workers"] = leaked_workers
         self.report = report
         return report
 
@@ -491,6 +510,10 @@ class TardisServer:
             return error_response(request_id, "KEY_CONFLICT", str(exc))
         except BeginError as exc:
             return error_response(request_id, "BEGIN_FAILED", str(exc))
+        except ShardUnavailableError as exc:
+            # Before TardisError: a dead shard worker is a typed,
+            # retryable condition, not an opaque INTERNAL.
+            return error_response(request_id, "SHARD_UNAVAILABLE", str(exc))
         except TardisError as exc:
             return error_response(request_id, "INTERNAL", repr(exc))
         except Exception as exc:  # tardis: ignore[bare-except] — one bad request must not kill the connection loop
@@ -605,6 +628,20 @@ class TardisServer:
             return ok_response(request_id, found=False, value=None)
         return ok_response(request_id, found=True, value=value)
 
+    def _op_read_many(
+        self, conn: _Connection, request_id: Any, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        keys = request.get("keys")
+        if not isinstance(keys, list):
+            raise _RequestError("BAD_REQUEST", "READ_MANY needs a keys list")
+        txn = self._txn_of(conn, request)
+        values = txn.get_many(keys, default=_MISSING)
+        return ok_response(
+            request_id,
+            found=[value is not _MISSING for value in values],
+            values=[None if value is _MISSING else value for value in values],
+        )
+
     def _op_write(
         self, conn: _Connection, request_id: Any, request: Dict[str, Any]
     ) -> Dict[str, Any]:
@@ -682,6 +719,10 @@ class TardisServer:
             "merges": self.store.metrics.merges,
             "records": self.store.versions.num_records(),
         }
+        workers_alive = getattr(self.store.versions, "workers_alive", None)
+        if workers_alive is not None:
+            stats["store"]["shard_workers"] = self.store.versions.n_workers
+            stats["store"]["shard_workers_alive"] = workers_alive()
         return ok_response(request_id, stats=stats)
 
     def _op_bye(

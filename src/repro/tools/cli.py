@@ -45,7 +45,7 @@ from repro.obs.flight import FlightRecorder, format_flight
 from repro.replication.cluster import Cluster
 from repro.server.server import TardisServer, run_server
 from repro.sim.adapters import OCCAdapter, TardisAdapter, TwoPLAdapter
-from repro.storage.engine import available_engines
+from repro.storage.engine import available_engines, available_record_stores
 from repro.tools.inspect import dag_to_dot, describe_store, store_summary
 from repro.workload import RunConfig, YCSBWorkload, run_simulation
 from repro.workload.mixes import BLIND_WRITE, MIXED, READ_HEAVY, READ_ONLY, WRITE_HEAVY
@@ -338,6 +338,8 @@ def cmd_serve(args) -> int:
         port=args.port,
         site=args.site,
         engine=args.engine,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
         max_connections=args.max_connections,
         request_timeout=args.request_timeout,
         drain_timeout=args.drain_timeout,
@@ -346,7 +348,8 @@ def cmd_serve(args) -> int:
     if args.metrics:
         print(export.to_prometheus(_met.DEFAULT))
     print("TARDIS_SERVE_REPORT " + json.dumps(report, sort_keys=True), flush=True)
-    return 0 if not report.get("leaked_sessions") else 1
+    failed = report.get("leaked_sessions") or report.get("leaked_workers")
+    return 0 if not failed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -444,7 +447,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port; 0 picks an ephemeral port (see --port-file)",
     )
     serve.add_argument("--site", default="net", help="store site name")
-    serve.add_argument("--engine", choices=available_engines(), default="btree")
+    serve.add_argument(
+        "--engine",
+        choices=available_engines() + available_record_stores(),
+        default="btree",
+        help="flat record engine, or a whole record store "
+        "(sharded / proc-sharded)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=None,
+        help="partition records across N shards (implies the sharded store)",
+    )
+    serve.add_argument(
+        "--shard-workers", type=int, default=None,
+        help="run the shards in N worker processes (implies proc-sharded)",
+    )
     serve.add_argument("--max-connections", type=int, default=128)
     serve.add_argument(
         "--request-timeout", type=float, default=5.0,

@@ -10,7 +10,12 @@ import pytest
 
 from repro import TardisStore
 from repro.client import AsyncTardisClient, TardisClient
-from repro.errors import BeginError, KeyNotFound, ServerError
+from repro.errors import (
+    BeginError,
+    KeyNotFound,
+    ServerError,
+    ShardUnavailableError,
+)
 from repro.server import start_in_thread
 from repro.server.protocol import HEADER, MAX_FRAME, FrameDecoder
 
@@ -480,3 +485,89 @@ class TestAsyncClient:
                 await client.close()
 
         asyncio.run(_go())
+
+
+# ---------------------------------------------------------------------------
+# The shard plane behind the server: a PartitionedStore with worker
+# processes must be wire-indistinguishable from the flat store, and the
+# server must reap its workers at shutdown even after rude disconnects.
+
+
+@pytest.fixture
+def served_sharded():
+    handle = start_in_thread(site="net-shard", shards=4, shard_workers=2)
+    yield handle
+    if handle.server.report is None:
+        handle.stop()
+
+
+class TestShardedServing:
+    def test_wire_script_matches_flat_store(self, served_sharded):
+        clients = [
+            TardisClient(port=served_sharded.port, session="sess-%d" % i)
+            for i in range(4)
+        ]
+        try:
+            wire = _oracle_script(
+                lambda i: clients[i].begin(), lambda: clients[0].merge()
+            )
+        finally:
+            for client in clients:
+                client.close()
+
+        store = TardisStore("oracle")
+        sessions = [store.session("sess-%d" % i) for i in range(4)]
+        in_process = _oracle_script(
+            lambda i: store.begin(session=sessions[i]),
+            lambda: store.begin_merge(session=sessions[0]),
+        )
+        assert wire == in_process
+
+        report = served_sharded.stop()
+        assert report["leaked_sessions"] == []
+        assert report["leaked_workers"] == 0
+
+    def test_read_many_over_the_wire(self, served_sharded):
+        with TardisClient(port=served_sharded.port, session="batch") as client:
+            txn = client.begin()
+            for i in range(20):
+                txn.put("key-%03d" % i, i)
+            txn.commit()
+            keys = ["key-%03d" % i for i in range(20)] + ["missing"]
+            values = client.get_many(keys, default="MISS")
+            assert values == list(range(20)) + ["MISS"]
+            txn = client.begin(read_only=True)
+            with pytest.raises(KeyNotFound):
+                txn.get_many(["missing"])
+            txn.abort()
+            stats = client.stats()
+            assert stats["store"]["shard_workers"] == 2
+            assert stats["store"]["shard_workers_alive"] == 2
+
+    def test_hard_disconnect_leaks_nothing_with_shards(self, served_sharded):
+        store = served_sharded.server.store
+        client = TardisClient(port=served_sharded.port, session="dropper")
+        txn = client.begin()
+        txn.put("doomed", 1)
+        client._sock.close()  # hard drop: no BYE, mid-transaction
+
+        assert _wait_until(
+            lambda: not any(s.name == "dropper" for s in store.sessions())
+        ), "session leaked after disconnect"
+        with TardisClient(port=served_sharded.port, session="observer") as obs:
+            assert obs.get("doomed", default=None) is None
+
+        report = served_sharded.stop()
+        assert report["leaked_sessions"] == []
+        assert report["leaked_workers"] == 0
+        assert report["exit_code"] if "exit_code" in report else True
+
+    def test_dead_worker_surfaces_as_typed_wire_error(self, served_sharded):
+        with TardisClient(port=served_sharded.port, session="chaos") as client:
+            txn = client.begin()
+            for i in range(16):
+                txn.put("key-%03d" % i, i)
+            txn.commit()
+            served_sharded.server.store.versions.kill_worker(1)
+            with pytest.raises(ShardUnavailableError):
+                client.get_many(["key-%03d" % i for i in range(16)])

@@ -1,0 +1,248 @@
+"""Tests for the process-parallel shard plane (workers + cross-shard commits).
+
+Covers the ``proc-sharded`` record store end to end: drop-in engine
+selection through ``TardisStore``, scatter/gather batched reads, the
+prepare/install cross-shard commit protocol (including typed aborts on
+a killed worker), oracle equivalence against the flat store under a
+branching/merging/GC workload, and worker lifecycle (clean close, no
+leaks).
+
+Worker processes use the ``spawn`` start method, so each store pays
+real startup cost: tests share stores where possible and keep worker
+counts small.
+"""
+
+import random
+
+import pytest
+
+from repro import TardisStore
+from repro.errors import (
+    CrossShardAbort,
+    GarbageCollectedError,
+    ShardUnavailableError,
+    TransactionAborted,
+)
+from repro.obs import metrics as _met
+from repro.partitioning import PartitionedStore, ProcShardedRecordStore
+
+
+@pytest.fixture
+def proc_store():
+    store = TardisStore("A", engine="proc-sharded", shards=4, shard_workers=2)
+    yield store
+    store.close()
+
+
+class TestProcShardedBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcShardedRecordStore(n_shards=2, n_workers=4)  # workers > shards
+        with pytest.raises(ValueError):
+            ProcShardedRecordStore(n_shards=0)
+
+    def test_engine_spec_is_a_drop_in(self, proc_store):
+        assert isinstance(proc_store.versions, ProcShardedRecordStore)
+        assert proc_store.versions.n_workers == 2
+        assert proc_store.versions.workers_alive() == 2
+
+    def test_round_trip_and_delete(self, proc_store):
+        proc_store.put("x", {"nested": [1, 2]})
+        assert proc_store.get("x") == {"nested": [1, 2]}
+        txn = proc_store.begin()
+        txn.delete("x")
+        txn.commit()
+        assert proc_store.get("x", default="gone") == "gone"
+
+    def test_get_many_parity_with_get(self, proc_store):
+        keys = ["key%03d" % i for i in range(40)]
+        txn = proc_store.begin()
+        for i, key in enumerate(keys):
+            txn.put(key, i)
+        txn.commit()
+        txn = proc_store.begin(read_only=True)
+        batched = txn.get_many(keys + ["missing"], default=None)
+        singles = [txn.get(k, default=None) for k in keys + ["missing"]]
+        txn.commit()
+        assert batched == singles
+        assert batched[:-1] == list(range(40))
+        assert batched[-1] is None
+
+    def test_records_spread_across_workers(self, proc_store):
+        txn = proc_store.begin()
+        for i in range(64):
+            txn.put("key%03d" % i, i)
+        txn.commit()
+        balance = proc_store.versions.balance()
+        assert sum(balance) == 64
+        assert sum(1 for b in balance if b > 0) > 1
+
+    def test_cross_shard_commit_metric(self):
+        registry = _met.MetricsRegistry(enabled=True)
+        previous = _met.set_default_registry(registry)
+        store = TardisStore(
+            "A", engine="proc-sharded", shards=4, shard_workers=2
+        )
+        try:
+            txn = store.begin()
+            for i in range(16):  # certainly spans shards
+                txn.put("key%03d" % i, i)
+            txn.commit()
+            assert registry.counter_value("tardis_commit_cross_shard_total") >= 1
+        finally:
+            store.close()
+            _met.set_default_registry(previous)
+
+    def test_close_is_idempotent_and_leak_free(self):
+        store = TardisStore(
+            "A", engine="proc-sharded", shards=4, shard_workers=2
+        )
+        store.put("x", 1)
+        store.close()
+        assert store.leaked_workers == 0
+        store.close()  # second close is a no-op
+        assert store.leaked_workers == 0
+
+
+class TestWorkerFailure:
+    def test_commit_to_dead_worker_aborts_typed(self):
+        store = TardisStore(
+            "A", engine="proc-sharded", shards=4, shard_workers=2
+        )
+        try:
+            store.put("seed", 0)
+            states = len(store.dag)
+            aborts = store.metrics.aborts
+            store.versions.kill_worker(0)
+            txn = store.begin()
+            for i in range(16):  # hits shards on both workers
+                txn.put("key%03d" % i, i)
+            with pytest.raises(CrossShardAbort) as excinfo:
+                txn.commit()
+            # Typed: retry loops written for TransactionAborted still work.
+            assert isinstance(excinfo.value, TransactionAborted)
+            # Clean abort: no committed-looking state with lost writes.
+            assert len(store.dag) == states
+            assert store.metrics.aborts == aborts + 1
+        finally:
+            store.close()
+
+    def test_read_from_dead_worker_raises_shard_unavailable(self):
+        store = TardisStore(
+            "A", engine="proc-sharded", shards=2, shard_workers=2
+        )
+        try:
+            txn = store.begin()
+            for i in range(16):
+                txn.put("key%03d" % i, i)
+            txn.commit()
+            store.versions.kill_worker(1)
+            txn = store.begin(read_only=True)
+            with pytest.raises(ShardUnavailableError):
+                txn.get_many(["key%03d" % i for i in range(16)])
+        finally:
+            store.close()
+
+    def test_shard_abort_metric(self):
+        registry = _met.MetricsRegistry(enabled=True)
+        previous = _met.set_default_registry(registry)
+        store = TardisStore(
+            "A", engine="proc-sharded", shards=2, shard_workers=2
+        )
+        try:
+            store.versions.kill_worker(0)
+            txn = store.begin()
+            for i in range(8):
+                txn.put("key%03d" % i, i)
+            with pytest.raises(CrossShardAbort):
+                txn.commit()
+            assert registry.counter_value("tardis_commit_shard_abort_total") == 1
+        finally:
+            store.close()
+            _met.set_default_registry(previous)
+
+
+class TestOracleEquivalence:
+    """Sharded-with-workers must be observably identical to the flat store."""
+
+    @staticmethod
+    def _run_schedule(store, seed):
+        obs = []
+        sessions = [store.session("c%d" % i) for i in range(3)]
+        rng = random.Random(seed)
+        keyspace = ["k%02d" % i for i in range(24)]
+        for _step in range(140):
+            roll = rng.random()
+            sess = sessions[rng.randrange(len(sessions))]
+            try:
+                if roll < 0.45:
+                    txn = store.begin(session=sess)
+                    for _ in range(rng.randrange(1, 5)):
+                        txn.put(keyspace[rng.randrange(24)], rng.randrange(1000))
+                    obs.append(("commit", repr(txn.commit())))
+                elif roll < 0.65:
+                    txn = store.begin(session=sess, read_only=True)
+                    obs.append(
+                        (
+                            "read",
+                            tuple(
+                                txn.get(keyspace[rng.randrange(24)], default=None)
+                                for _ in range(4)
+                            ),
+                        )
+                    )
+                    txn.commit()
+                elif roll < 0.75:
+                    txn = store.begin(session=sess, read_only=True)
+                    obs.append(
+                        ("read_many", tuple(txn.get_many(keyspace, default=None)))
+                    )
+                    txn.commit()
+                elif roll < 0.85:
+                    merge = store.begin_merge(session=sess)
+                    for key in merge.find_conflict_writes():
+                        values = [v for _sid, v in merge.get_all(key)]
+                        numeric = [v for v in values if v is not None]
+                        merge.put(key, max(numeric) if numeric else None)
+                    obs.append(("merge", repr(merge.commit())))
+                elif roll < 0.92:
+                    txn = store.begin(session=sess)
+                    txn.delete(keyspace[rng.randrange(24)])
+                    obs.append(("delete", repr(txn.commit())))
+                else:
+                    stats = store.collect_garbage()
+                    obs.append(
+                        ("gc", stats.states_removed, stats.records_dropped)
+                    )
+            except TransactionAborted as exc:
+                obs.append(("abort", type(exc).__name__))
+            except GarbageCollectedError:
+                obs.append(("gcerror",))
+        txn = store.begin(read_only=True)
+        obs.append(("snapshot", tuple(txn.get_many(keyspace, default=None))))
+        txn.commit()
+        obs.append(("states", len(store.dag)))
+        return obs
+
+    def test_bit_identical_observables(self):
+        flat = TardisStore("site")
+        proc = PartitionedStore("site", n_shards=4, shard_workers=2)
+        try:
+            expected = self._run_schedule(flat, seed=42)
+            actual = self._run_schedule(proc, seed=42)
+            assert actual == expected
+        finally:
+            flat.close()
+            proc.close()
+            assert proc.leaked_workers == 0
+
+    def test_in_process_sharded_matches_too(self):
+        flat = TardisStore("site")
+        sharded = TardisStore("site", engine="sharded", shards=4)
+        try:
+            assert self._run_schedule(sharded, seed=9) == self._run_schedule(
+                flat, seed=9
+            )
+        finally:
+            flat.close()
+            sharded.close()
