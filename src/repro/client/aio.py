@@ -16,7 +16,8 @@ tasks on a single client — open one client per task::
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Optional
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.client.client import _RAISE, raise_for_error
 from repro.errors import KeyNotFound, NetworkError, ServerError
@@ -133,6 +134,8 @@ class AsyncTardisClient:
         self.max_frame = max_frame
         self.session: Optional[str] = None
         self.site: Optional[str] = None
+        #: push frames diverted out of the request/response path.
+        self._pushes: Deque[Dict[str, Any]] = deque()
 
     @classmethod
     async def connect(
@@ -171,6 +174,11 @@ class AsyncTardisClient:
         while True:
             frame = self._decoder.next_frame()
             if frame is not None:
+                if "push" in frame:
+                    # Diverted like the sync client: pushes never break
+                    # request/response pairing (drain via next_obs_frame).
+                    self._pushes.append(frame)
+                    continue
                 return frame
             data = await self._reader.read(65536)
             if not data:
@@ -223,6 +231,48 @@ class AsyncTardisClient:
 
     async def stats(self) -> Dict[str, Any]:
         return (await self._request("STATS"))["stats"]
+
+    # -- live observability (docs/internals.md §14) -----------------------
+
+    async def obs_snapshot(self, tail: Optional[int] = None) -> Dict[str, Any]:
+        """One observability snapshot (series tails cut to ``tail``)."""
+        fields: Dict[str, Any] = {}
+        if tail is not None:
+            fields["tail"] = tail
+        return (await self._request("OBS_SNAPSHOT", **fields))["snapshot"]
+
+    async def subscribe_obs(self) -> Dict[str, Any]:
+        """Start the push stream; see the sync twin for semantics."""
+        return await self._request("OBS_SUBSCRIBE")
+
+    async def unsubscribe_obs(self) -> Dict[str, Any]:
+        """Stop the stream; returns ``{subscribed, frames, dropped}``."""
+        return await self._request("OBS_UNSUBSCRIBE")
+
+    async def next_obs_frame(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Dict[str, Any]]:
+        """The next push frame, or None when ``timeout`` elapses first."""
+        if self._pushes:
+            return self._pushes.popleft()
+        if self._closed:
+            raise NetworkError("client is closed")
+        while True:
+            frame = self._decoder.next_frame()
+            if frame is not None:
+                if "push" in frame:
+                    return frame
+                raise NetworkError(
+                    "unexpected response frame %r" % (frame.get("id"),)
+                )
+            try:
+                data = await asyncio.wait_for(self._reader.read(65536), timeout)
+            except asyncio.TimeoutError:
+                return None
+            if not data:
+                self._closed = True
+                raise NetworkError("server closed the connection")
+            self._decoder.feed(data)
 
     async def close(self) -> None:
         if self._closed:

@@ -28,7 +28,8 @@ in-process store work unchanged; every other wire error surfaces as
 from __future__ import annotations
 
 import socket
-from typing import Any, Dict, List, Optional
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import (
     BeginError,
@@ -206,6 +207,10 @@ class TardisClient:
         self._next_id = 1
         self._closed = False
         self.max_frame = max_frame
+        self.timeout = timeout
+        #: server-push frames (OBS_SUBSCRIBE streams) diverted out of the
+        #: request/response path, oldest first; drained by next_obs_frame.
+        self._pushes: Deque[Dict[str, Any]] = deque()
         hello = self._request("HELLO", session=session, protocol=PROTOCOL_VERSION)
         #: the session name the server bound this connection to.
         self.session = hello["session"]
@@ -233,6 +238,12 @@ class TardisClient:
         while True:
             frame = self._decoder.next_frame()
             if frame is not None:
+                if "push" in frame:
+                    # Server-initiated frame (an obs stream) interleaved
+                    # with a response: park it so request/response pairing
+                    # stays strict while subscribed.
+                    self._pushes.append(frame)
+                    continue
                 return frame
             data = self._sock.recv(65536)
             if not data:
@@ -295,6 +306,65 @@ class TardisClient:
     def stats(self) -> Dict[str, Any]:
         """Server + store counters (see docs/internals.md §12)."""
         return self._request("STATS")["stats"]
+
+    # -- live observability (docs/internals.md §14) -----------------------
+
+    def obs_snapshot(self, tail: Optional[int] = None) -> Dict[str, Any]:
+        """One observability snapshot (series tails cut to ``tail``)."""
+        fields: Dict[str, Any] = {}
+        if tail is not None:
+            fields["tail"] = tail
+        return self._request("OBS_SNAPSHOT", **fields)["snapshot"]
+
+    def subscribe_obs(self) -> Dict[str, Any]:
+        """Start the push stream; returns ``{interval_s, tail, resumed}``.
+
+        Raises :class:`~repro.errors.ServerError` with code
+        ``OBS_UNAVAILABLE`` when the server runs no live sampler. After
+        subscribing, drain frames with :meth:`next_obs_frame` — ordinary
+        requests keep working, pushes are diverted internally.
+        """
+        return self._request("OBS_SUBSCRIBE")
+
+    def unsubscribe_obs(self) -> Dict[str, Any]:
+        """Stop the stream; returns ``{subscribed, frames, dropped}``."""
+        return self._request("OBS_UNSUBSCRIBE")
+
+    def next_obs_frame(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """The next push frame, or None when ``timeout`` elapses first.
+
+        Returns the whole wire frame: ``{"push": "obs", "seq", "dropped",
+        "snapshot"}``. Frames already diverted by an interleaved request
+        are served before the socket is read again.
+        """
+        if self._pushes:
+            return self._pushes.popleft()
+        if self._closed:
+            raise NetworkError("client is closed")
+        previous = self._sock.gettimeout()
+        self._sock.settimeout(timeout if timeout is not None else previous)
+        try:
+            while True:
+                frame = self._decoder.next_frame()
+                if frame is not None:
+                    if "push" in frame:
+                        return frame
+                    # A response with no request in flight is a protocol
+                    # violation; surface it rather than swallowing.
+                    raise NetworkError("unexpected response frame %r" % (frame.get("id"),))
+                try:
+                    data = self._sock.recv(65536)
+                except socket.timeout:
+                    return None
+                if not data:
+                    self._closed = True
+                    raise NetworkError("server closed the connection")
+                self._decoder.feed(data)
+        finally:
+            try:
+                self._sock.settimeout(previous)
+            except OSError:
+                pass
 
     # -- lifecycle --------------------------------------------------------
 

@@ -796,6 +796,36 @@ class TardisStore:
             stats["writeset_entries"] = len(index)
         return stats
 
+    def shard_health(self, ping: bool = True) -> Optional[Dict[str, Any]]:
+        """Per-shard access totals and worker health; None for flat stores.
+
+        One locked call the live obs sampler polls. In-process sharded
+        stores report shard count + access balance; the proc-sharded
+        plane adds per-worker liveness, queue depth, and a timed ping
+        round trip (see ``ProcShardedRecordStore.worker_health``) plus
+        the running ``leaked_workers`` count — dead workers surface here
+        live, not only in the shutdown report.
+        """
+        with self._lock:
+            accesses = getattr(self.versions, "accesses", None)
+            if accesses is None:
+                return None
+            health: Dict[str, Any] = {
+                "n_shards": self.versions.n_shards,
+                "accesses": list(accesses),
+            }
+            worker_health = getattr(self.versions, "worker_health", None)
+            if worker_health is not None:
+                workers: List[Dict[str, Any]] = worker_health(ping=ping)
+                health["n_workers"] = self.versions.n_workers
+                health["workers"] = workers
+                health["workers_alive"] = sum(1 for w in workers if w["alive"])
+                health["workers_dead"] = [
+                    w["worker"] for w in workers if not w["alive"]
+                ]
+                health["leaked_workers"] = self.leaked_workers
+            return health
+
     def collect_garbage(self, flush_promotions: bool = False) -> GCStats:
         """Run one full garbage-collection cycle (§6.3)."""
         return self.gc.collect(flush_promotions=flush_promotions)

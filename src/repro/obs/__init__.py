@@ -31,6 +31,7 @@ from repro.obs.export import (
     to_prometheus,
 )
 from repro.obs.flight import FlightRecorder, dag_snapshot, format_flight
+from repro.obs.sampler import ObsSampler
 from repro.obs.series import (
     DivergenceMonitor,
     Trigger,
@@ -70,6 +71,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ObsSampler",
     "Span",
     "TraceContext",
     "TraceEvent",

@@ -520,7 +520,11 @@ METRIC_NAMES: Dict[str, str] = {
     "tardis_net_server_connections_total": "connections the server accepted",
     "tardis_net_server_disconnect_aborts_total": "txns aborted by disconnect cleanup",
     "tardis_net_server_errors_total": "error responses sent",
-    "tardis_net_server_request_ms": "server request handling latency (ms)",
+    "tardis_net_server_obs_dropped_total": "obs push frames dropped (slow consumers)",
+    "tardis_net_server_obs_frames_total": "obs push frames delivered to subscribers",
+    "tardis_net_server_obs_samples_total": "live sampler ticks taken",
+    "tardis_net_server_obs_subscribers": "live obs subscriptions (gauge)",
+    "tardis_net_server_request_ms": "server request latency (ms); also labeled @op=<OP>",
     "tardis_net_server_requests_total": "requests the server processed",
     "tardis_net_server_timeouts_total": "requests that hit the per-request timeout",
     "tardis_repl_apply_total": "replicated commits applied locally",
@@ -549,13 +553,22 @@ METRIC_NAMES: Dict[str, str] = {
     "tardis_writeset_index_miss_total": "write-set index misses",
 }
 
-#: windowed-series base names; instances carry an ``@<site>`` suffix.
+#: windowed-series base names; instances carry an ``@<site>`` suffix
+#: (``@s<i>`` per shard, ``@w<i>`` per worker for the shard-plane ones).
 SERIES_NAMES: Dict[str, str] = {
     "tardis_branch_count": "leaves per site over time",
     "tardis_dag_depth": "DAG depth per site over time",
     "tardis_dag_width": "DAG width per site over time",
     "tardis_merge_debt": "branches beyond one pending merge",
+    "tardis_net_commits": "cumulative server-side commits over time",
+    "tardis_net_connections": "live server connections over time",
+    "tardis_net_inflight": "requests in flight over time",
+    "tardis_net_requests": "cumulative requests processed over time",
+    "tardis_net_sessions": "open store sessions over time",
     "tardis_repl_lag": "states committed at src not applied at dst",
+    "tardis_shard_accesses": "cumulative accesses per shard over time",
+    "tardis_shard_queue_depth": "in-flight batches per shard worker over time",
+    "tardis_shard_workers_alive": "live shard workers over time",
     "tardis_staleness_ms": "time since the site last had a single leaf",
 }
 

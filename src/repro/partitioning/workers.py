@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.state_dag import State, StateDAG
@@ -738,6 +739,39 @@ class ProcShardedRecordStore:
 
     def workers_alive(self) -> int:
         return sum(1 for handle in self._handles if handle.process.is_alive())
+
+    def worker_health(self, ping: bool = True, ping_timeout: float = 1.0) -> List[Dict[str, Any]]:
+        """Per-worker liveness and coordinator-side queue depth.
+
+        The cheap live-health probe the obs sampler polls: process
+        liveness plus ``queue_depth`` (batches sent, reply not yet
+        collected — nonzero only mid scatter/gather). With ``ping=True``
+        each idle live worker also answers one ``ping`` round trip,
+        timed as ``ping_ms``, so a wedged-but-running process shows up
+        dead instead of healthy. Runs under the owning store's lock like
+        every other coordinator method; a failed ping marks the handle
+        dead but never raises.
+        """
+        out: List[Dict[str, Any]] = []
+        for handle in self._handles:
+            alive = handle.alive and handle.process.is_alive()
+            entry: Dict[str, Any] = {
+                "worker": handle.index,
+                "shards": list(handle.shards),
+                "alive": bool(alive),
+                "queue_depth": len(handle._inflight),
+                "pid": handle.process.pid,
+            }
+            if ping and alive and not handle._inflight:
+                started = time.perf_counter()
+                try:
+                    handle.request(next(self._batch_ids), None, [("ping",)])
+                    handle.collect(ping_timeout)
+                    entry["ping_ms"] = (time.perf_counter() - started) * 1000.0
+                except (ShardError, ShardUnavailableError):
+                    entry["alive"] = False
+            out.append(entry)
+        return out
 
     def kill_worker(self, worker_index: int) -> None:
         """Fault injection: hard-kill one worker (tests, chaos runs)."""

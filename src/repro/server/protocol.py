@@ -19,6 +19,13 @@ responses echo the id: ``{"id": <int>, "ok": true, ...}`` or
 on one connection are processed strictly in order, so ``id`` exists for
 client-side bookkeeping, not reordering. The full command and error-code
 catalogue is specified in docs/internals.md §12.
+
+One exception to request/response pairing: a connection that issued
+``OBS_SUBSCRIBE`` also receives server-initiated *push frames* —
+``{"push": "obs", "seq": <int>, "dropped": <int>, "snapshot": {...}}``
+— interleaved between responses on the sampler's cadence. Push frames
+carry no ``id``; clients route on the ``push`` key (docs/internals.md
+§14 specifies the snapshot schema and the slow-consumer drop policy).
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ __all__ = [
     "MAX_FRAME",
     "HEADER",
     "OPS",
+    "PUSH_KINDS",
     "ERROR_CODES",
     "encode_frame",
     "FrameDecoder",
@@ -62,9 +70,15 @@ OPS = frozenset(
         "ABORT",   # abort a transaction
         "MERGE",   # start a merge transaction over the current branches
         "STATS",   # server + store counters (health/leak checks)
+        "OBS_SNAPSHOT",     # one-shot observability snapshot
+        "OBS_SUBSCRIBE",    # push obs snapshots on the sampler cadence
+        "OBS_UNSUBSCRIBE",  # stop the push stream; returns accounting
         "BYE",     # polite close: server responds, then drops the link
     }
 )
+
+#: kinds of server-initiated push frames (the ``push`` field).
+PUSH_KINDS = frozenset({"obs"})
 
 #: wire error codes -> meaning. ``BAD_FRAME``/``FRAME_TOO_LARGE`` are
 #: connection-fatal (framing is lost); everything else is per-request.
@@ -85,6 +99,7 @@ ERROR_CODES: Dict[str, str] = {
     "READ_ONLY": "a write was issued in a read-only transaction",
     "BAD_CONSTRAINT": "unknown begin/end constraint name",
     "SHARD_UNAVAILABLE": "a shard worker died or timed out serving the request",
+    "OBS_UNAVAILABLE": "the server runs no live sampler (start with --obs-interval)",
     "TIMEOUT": "the request exceeded the server's per-request timeout",
     "SERVER_BUSY": "the server is at its connection cap",
     "SHUTTING_DOWN": "the server is draining and takes no new work",

@@ -41,6 +41,20 @@ are recorded against the default metrics registry (catalogued in
 ``METRIC_NAMES``, so the metric-drift rule covers them), and a plain
 stats dict — independent of whether the registry is enabled — feeds the
 STATS command and the shutdown report.
+
+Live ops plane (docs/internals.md §14): with ``obs_sample_interval``
+set, an :class:`~repro.obs.sampler.ObsSampler` task samples the store's
+divergence series, the server gauges, per-op latency percentiles, and
+the shard plane's worker health on a wall-clock cadence (each sample
+runs on the store executor, serialized with request handlers), and runs
+the flight-recorder triggers live so threshold trips become alerts.
+Snapshots are served one-shot via ``OBS_SNAPSHOT`` and streamed to
+``OBS_SUBSCRIBE``-ed connections as push frames. Slow-consumer policy:
+each subscription buffers at most ``obs_queue_frames`` snapshots; when
+the subscriber's socket cannot keep up, new snapshots are *dropped*
+(never buffered unboundedly, never blocking the sampler), counted per
+subscription, and the next delivered frame carries the cumulative
+``dropped`` count so the gap is visible downstream.
 """
 
 from __future__ import annotations
@@ -76,6 +90,7 @@ from repro.errors import (
     TransactionClosed,
 )
 from repro.obs import metrics as _met
+from repro.obs.sampler import ObsSampler
 from repro.server.protocol import (
     MAX_FRAME,
     OPS,
@@ -150,6 +165,41 @@ class _Connection:
         self.hello_done = False
 
 
+class _ObsSubscription:
+    """One OBS_SUBSCRIBE stream: a bounded snapshot queue + writer task.
+
+    The drop policy lives here: ``offer`` never blocks and never buffers
+    more than ``capacity`` snapshots — when the writer task (throttled
+    by the subscriber's socket) falls behind, the *new* snapshot is
+    dropped and counted, and the next frame that does go out carries the
+    cumulative ``dropped`` total. ``offer`` runs on the event loop only
+    (like the writer task), so the counters need no lock; the
+    unsubscribe handler merely reads them for its accounting reply.
+    """
+
+    __slots__ = ("conn_id", "writer", "capacity", "queue", "sent", "dropped", "task")
+
+    def __init__(
+        self, conn_id: int, writer: asyncio.StreamWriter, capacity: int
+    ) -> None:
+        self.conn_id = conn_id
+        self.writer = writer
+        self.capacity = capacity
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=capacity)
+        self.sent = 0
+        self.dropped = 0
+        self.task: Optional[asyncio.Task] = None
+
+    def offer(self, snapshot: Dict[str, Any]) -> bool:
+        """Enqueue for delivery; False (and counted) when full."""
+        try:
+            self.queue.put_nowait(snapshot)
+            return True
+        except asyncio.QueueFull:
+            self.dropped += 1
+            return False
+
+
 class TardisServer:
     """An asyncio TCP server exposing one TardisStore over the wire."""
 
@@ -159,6 +209,7 @@ class TardisServer:
         "_owned_sessions": "self._lock",
         "_stats": "self._lock",
         "_inflight": "self._lock",
+        "_obs_subs": "self._lock",
     }
 
     def __init__(
@@ -174,6 +225,9 @@ class TardisServer:
         request_timeout: float = 5.0,
         drain_timeout: float = 5.0,
         max_frame: int = MAX_FRAME,
+        obs_sample_interval: Optional[float] = None,
+        obs_tail: int = 60,
+        obs_queue_frames: int = 4,
     ) -> None:
         #: the server owns (and closes at shutdown) only a store it built.
         self._owns_store = store is None
@@ -217,9 +271,33 @@ class TardisServer:
             "disconnect_aborts": 0,
             "bytes_in": 0,
             "bytes_out": 0,
+            "obs_samples": 0,
+            "obs_frames_total": 0,
+            "obs_frames_dropped": 0,
         }
         self._tasks: Set[asyncio.Task] = set()
         self.report: Optional[Dict[str, Any]] = None
+        # -- live ops plane (docs/internals.md §14) ------------------------
+        #: wall seconds between sampler ticks; None leaves the sampler
+        #: task off (OBS_SNAPSHOT still works — it samples on demand).
+        self.obs_sample_interval = obs_sample_interval
+        self.obs_tail = obs_tail
+        self.obs_queue_frames = obs_queue_frames
+        self.obs = ObsSampler(
+            self.store,
+            site=self.store.site,
+            tail=obs_tail,
+            counters_fn=self._obs_counters,
+            gauges_fn=self._obs_gauges,
+            latency_fn=self._obs_latency,
+        )
+        #: per-op request-latency histograms (wire op -> Histogram);
+        #: created/updated on the event loop thread only, snapshotted by
+        #: the sampler via _obs_latency.
+        self._op_latency: Dict[str, _met.Histogram] = {}
+        self._obs_subs: Dict[int, _ObsSubscription] = {}
+        self._obs_task: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
 
     # -- lifecycle --------------------------------------------------------
 
@@ -229,6 +307,9 @@ class TardisServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._loop = asyncio.get_running_loop()
+        if self.obs_sample_interval is not None and self.obs_sample_interval > 0:
+            self._obs_task = self._loop.create_task(self._obs_loop())
         return self
 
     @property
@@ -254,6 +335,23 @@ class TardisServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        # Stop the live ops plane first: the sampler must not hop onto
+        # the executor after it shuts down, and subscriber writer tasks
+        # must not race the force-close below.
+        obs_tasks: List[asyncio.Task] = []
+        if self._obs_task is not None:
+            self._obs_task.cancel()
+            obs_tasks.append(self._obs_task)
+            self._obs_task = None
+        with self._lock:
+            subs = list(self._obs_subs.values())
+            self._obs_subs.clear()
+        for sub in subs:
+            if sub.task is not None:
+                sub.task.cancel()
+                obs_tasks.append(sub.task)
+        if obs_tasks:
+            await asyncio.wait(obs_tasks, timeout=2.0)
         loop = asyncio.get_running_loop()
         deadline = loop.time() + (
             self.drain_timeout if drain_timeout is None else drain_timeout
@@ -444,8 +542,143 @@ class TardisServer:
                 self._session_names.discard(conn.session_name)
             if open_txns:
                 self._stats["disconnect_aborts"] += len(open_txns)
+            sub = self._obs_subs.pop(conn.id, None)
+        if sub is not None and self._loop is not None:
+            # A subscriber that disconnected (politely or not) must not
+            # leak its writer task; the cancel hops to the loop thread.
+            try:
+                self._loop.call_soon_threadsafe(self._cancel_sub_writer, sub)
+            except RuntimeError:
+                pass  # loop already closed (server stopping)
         if open_txns and m.enabled:
             m.inc("tardis_net_server_disconnect_aborts_total", len(open_txns))
+
+    # -- live ops plane (sampler task + push streams) ----------------------
+
+    def _obs_counters(self) -> Dict[str, Any]:
+        """Cumulative server counters for the sampler (executor thread)."""
+        with self._lock:
+            return dict(self._stats)
+
+    def _obs_gauges(self) -> Dict[str, Any]:
+        """Instantaneous server gauges for the sampler (executor thread)."""
+        sessions = len(self.store.sessions())
+        with self._lock:
+            return {
+                "sessions": sessions,
+                "inflight": self._inflight,
+                "connections": len(self._conns),
+            }
+
+    def _obs_latency(self) -> Dict[str, Dict[str, Any]]:
+        """Per-op latency summaries from the request histograms."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for op, hist in list(self._op_latency.items()):
+            if not hist.count:
+                continue
+            out[op] = {
+                "count": hist.count,
+                "mean": hist.mean,
+                "p50": hist.quantile(0.5),
+                "p90": hist.quantile(0.9),
+                "p99": hist.quantile(0.99),
+                "max": hist.max,
+            }
+        return out
+
+    async def _obs_loop(self) -> None:
+        """The sampler task: sample on the executor, publish, sleep.
+
+        Each sample runs on the store executor, serialized with request
+        handlers — a sampler tick can delay one request by its own cost
+        (small: a DAG walk plus counter reads), never race it.
+        """
+        assert self.obs_sample_interval is not None
+        loop = asyncio.get_running_loop()
+        try:
+            while not self._closing:
+                started = loop.time()
+                try:
+                    snapshot = await loop.run_in_executor(
+                        self._executor, self.obs.sample
+                    )
+                except RuntimeError:
+                    break  # executor shut down underneath us
+                except Exception:  # tardis: ignore[bare-except] — a failed sample must not kill the server
+                    snapshot = None
+                if snapshot is not None:
+                    self._publish_obs(snapshot)
+                delay = self.obs_sample_interval - (loop.time() - started)
+                await asyncio.sleep(max(0.0, delay))
+        except asyncio.CancelledError:
+            pass
+
+    def _publish_obs(self, snapshot: Dict[str, Any]) -> None:
+        """Offer one snapshot to every subscription (event loop thread)."""
+        m = _met.DEFAULT
+        with self._lock:
+            self._stats["obs_samples"] += 1
+            subs = list(self._obs_subs.values())
+        dropped = 0
+        for sub in subs:
+            if not sub.offer(snapshot):
+                dropped += 1
+        if dropped:
+            with self._lock:
+                self._stats["obs_frames_dropped"] += dropped
+        if m.enabled:
+            m.inc("tardis_net_server_obs_samples_total")
+            m.set_gauge("tardis_net_server_obs_subscribers", len(subs))
+            if dropped:
+                m.inc("tardis_net_server_obs_dropped_total", dropped)
+
+    def _ensure_sub_writer(self, sub: _ObsSubscription) -> None:
+        """Start the writer task for ``sub`` (event loop thread)."""
+        with self._lock:
+            current = self._obs_subs.get(sub.conn_id)
+        if current is not sub:
+            return  # unsubscribed/disconnected before the task started
+        if sub.task is None and self._loop is not None:
+            sub.task = self._loop.create_task(self._sub_writer(sub))
+
+    def _cancel_sub_writer(self, sub: _ObsSubscription) -> None:
+        if sub.task is not None:
+            sub.task.cancel()
+
+    async def _sub_writer(self, sub: _ObsSubscription) -> None:
+        """Drain one subscription's queue onto its socket.
+
+        The socket (via ``drain``) throttles this task; the queue bound
+        plus drop counting in ``offer`` is what keeps a slow consumer
+        from buffering the server into the ground.
+        """
+        m = _met.DEFAULT
+        try:
+            while True:
+                snapshot = await sub.queue.get()
+                frame = {
+                    "push": "obs",
+                    "seq": snapshot["seq"],
+                    "dropped": sub.dropped,
+                    "snapshot": snapshot,
+                }
+                data = encode_frame(frame, self.max_frame)
+                sub.writer.write(data)
+                await sub.writer.drain()
+                sub.sent += 1
+                with self._lock:
+                    self._stats["obs_frames_total"] += 1
+                    self._stats["bytes_out"] += len(data)
+                if m.enabled:
+                    m.inc("tardis_net_server_obs_frames_total")
+                    m.inc("tardis_net_server_bytes_out_total", len(data))
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionResetError, BrokenPipeError, OSError, FrameTooLarge):
+            # Socket gone (the connection teardown does the accounting)
+            # or a snapshot outgrew the frame cap: stop the stream, keep
+            # the connection's request/response framing intact.
+            pass
 
     # -- request dispatch --------------------------------------------------
 
@@ -483,11 +716,18 @@ class TardisServer:
         finally:
             with self._lock:
                 self._inflight -= 1
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            if isinstance(op, str) and op in OPS:
+                hist = self._op_latency.get(op)
+                if hist is None:
+                    hist = self._op_latency[op] = _met.Histogram(
+                        "tardis_net_server_request_ms@op=%s" % op
+                    )
+                hist.record(elapsed_ms)
             if m.enabled:
-                m.observe(
-                    "tardis_net_server_request_ms",
-                    (time.perf_counter() - start) * 1000.0,
-                )
+                m.observe("tardis_net_server_request_ms", elapsed_ms)
+                if isinstance(op, str) and op in OPS:
+                    m.observe("tardis_net_server_request_ms@op=%s" % op, elapsed_ms)
 
     def _execute(self, conn: _Connection, request: Dict[str, Any]) -> Dict[str, Any]:
         """Run one request on the store executor; always returns a response."""
@@ -723,7 +963,68 @@ class TardisServer:
         if workers_alive is not None:
             stats["store"]["shard_workers"] = self.store.versions.n_workers
             stats["store"]["shard_workers_alive"] = workers_alive()
+        with self._lock:
+            subscribers = len(self._obs_subs)
+        stats["obs"] = {
+            "sampler": self._obs_task is not None,
+            "interval_s": self.obs_sample_interval,
+            "subscribers": subscribers,
+            # The light form: gauges/counters/latency/shards, no series.
+            "snapshot": ObsSampler.trim(self.obs.latest_or_sample(), 0),
+        }
         return ok_response(request_id, stats=stats)
+
+    def _op_obs_snapshot(
+        self, conn: _Connection, request_id: Any, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        tail = request.get("tail")
+        if tail is not None and not isinstance(tail, int):
+            raise _RequestError("BAD_REQUEST", "tail must be an integer")
+        # With the sampler running, serve its latest snapshot (cheap, at
+        # most one interval stale); without it, sample on demand — we are
+        # already on the store executor, so this is race-free.
+        if self._obs_task is not None:
+            snapshot = self.obs.latest_or_sample()
+        else:
+            snapshot = self.obs.sample()
+        return ok_response(request_id, snapshot=ObsSampler.trim(snapshot, tail))
+
+    def _op_obs_subscribe(
+        self, conn: _Connection, request_id: Any, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        if self._obs_task is None or self._closing:
+            raise _RequestError("OBS_UNAVAILABLE")
+        with self._lock:
+            sub = self._obs_subs.get(conn.id)
+            resumed = sub is not None
+            if sub is None:
+                sub = _ObsSubscription(conn.id, conn.writer, self.obs_queue_frames)
+                self._obs_subs[conn.id] = sub
+        # The writer task must be created on the event loop thread; this
+        # handler runs on the store executor.
+        assert self._loop is not None
+        self._loop.call_soon_threadsafe(self._ensure_sub_writer, sub)
+        return ok_response(
+            request_id,
+            interval_s=self.obs_sample_interval,
+            tail=self.obs_tail,
+            resumed=resumed,
+        )
+
+    def _op_obs_unsubscribe(
+        self, conn: _Connection, request_id: Any, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        with self._lock:
+            sub = self._obs_subs.pop(conn.id, None)
+        if sub is not None and self._loop is not None:
+            self._loop.call_soon_threadsafe(self._cancel_sub_writer, sub)
+        # Idempotent: unsubscribing while not subscribed just reports so.
+        return ok_response(
+            request_id,
+            subscribed=sub is not None,
+            frames=sub.sent if sub is not None else 0,
+            dropped=sub.dropped if sub is not None else 0,
+        )
 
     def _op_bye(
         self, conn: _Connection, request_id: Any, request: Dict[str, Any]

@@ -25,6 +25,11 @@ Commands:
   one TardisStore behind the length-prefixed JSON wire protocol, until
   SIGINT/SIGTERM; prints a ``TARDIS_SERVE_REPORT`` JSON line after the
   graceful drain and exits nonzero if any session leaked.
+  ``--obs-interval`` turns on the live ops sampler (§14).
+* ``top`` — terminal dashboard against a running server: divergence
+  gauges, sparkline series, per-op latency percentiles, per-shard and
+  per-worker health, and the live alert strip. ``--live`` streams the
+  server's push frames; without it, one snapshot table and exit.
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ from repro.server.server import TardisServer, run_server
 from repro.sim.adapters import OCCAdapter, TardisAdapter, TwoPLAdapter
 from repro.storage.engine import available_engines, available_record_stores
 from repro.tools.inspect import dag_to_dot, describe_store, store_summary
+from repro.tools.top import cmd_top
 from repro.workload import RunConfig, YCSBWorkload, run_simulation
 from repro.workload.mixes import BLIND_WRITE, MIXED, READ_HEAVY, READ_ONLY, WRITE_HEAVY
 
@@ -343,6 +349,7 @@ def cmd_serve(args) -> int:
         max_connections=args.max_connections,
         request_timeout=args.request_timeout,
         drain_timeout=args.drain_timeout,
+        obs_sample_interval=args.obs_interval,
     )
     report = run_server(server, port_file=args.port_file)
     if args.metrics:
@@ -479,7 +486,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="enable the obs registry; dump Prometheus text at exit",
     )
+    serve.add_argument(
+        "--obs-interval", type=float, default=None,
+        help="live ops sampler cadence in seconds (default: sampler off; "
+        "OBS_SNAPSHOT still samples on demand)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    top = sub.add_parser(
+        "top", help="live dashboard for a running server (docs/internals.md §14)"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7145)
+    top.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="shorthand for --host/--port",
+    )
+    top.add_argument(
+        "--session", default=None,
+        help="session name to bind (default: server-assigned)",
+    )
+    top.add_argument(
+        "--live", action="store_true",
+        help="subscribe to the push stream and re-render per frame "
+        "(needs a TTY or --frames; falls back to polling when the "
+        "server runs no sampler)",
+    )
+    top.add_argument(
+        "--frames", type=int, default=None,
+        help="stop after N rendered frames (default: until Ctrl-C)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="polling cadence in seconds when not streaming",
+    )
+    top.add_argument(
+        "--tail", type=int, default=None,
+        help="series samples to request/render (default: server's tail)",
+    )
+    top.add_argument("--width", type=int, default=40, help="sparkline width")
+    top.set_defaults(func=cmd_top)
     return parser
 
 

@@ -1,0 +1,505 @@
+"""Live ops plane: sampler, OBS_* wire ops, push streams, `tardis top`.
+
+Covers docs/internals.md §14 end to end — the ObsSampler snapshot
+schema, worker health, the subscribe/unsubscribe round trips over a real
+socket, slow-consumer drop accounting, disconnect cleanup, the
+sampler-off oracle-equivalence guard, and the dashboard renderer.
+"""
+
+import asyncio
+import json
+import socket
+import struct
+import time
+
+import pytest
+
+from repro import TardisStore
+from repro.client import AsyncTardisClient, TardisClient
+from repro.errors import ServerError
+from repro.obs.sampler import OBS_SCHEMA_VERSION, ObsSampler
+from repro.server import start_in_thread
+from repro.server.protocol import HEADER, PROTOCOL_VERSION
+from repro.tools.cli import main as cli_main
+
+
+def _wait_until(predicate, timeout=5.0, interval=0.02):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def served_live():
+    """A server with the sampler on a fast cadence."""
+    handle = start_in_thread(site="obs-test", obs_sample_interval=0.05)
+    yield handle
+    if handle.server.report is None:
+        handle.stop()
+
+
+@pytest.fixture
+def served_cold():
+    """A server with no sampler task (OBS_SNAPSHOT still works)."""
+    handle = start_in_thread(site="obs-cold")
+    yield handle
+    if handle.server.report is None:
+        handle.stop()
+
+
+# ---------------------------------------------------------------------------
+# ObsSampler unit: schema, series, triggers — no server involved.
+
+
+class TestObsSampler:
+    def test_snapshot_schema_and_seq(self):
+        store = TardisStore("A")
+        store.put("x", 1)
+        sampler = ObsSampler(store, site="A")
+        first = sampler.sample()
+        second = sampler.sample()
+        assert first["obs_schema"] == OBS_SCHEMA_VERSION
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert second["t_ms"] >= first["t_ms"]
+        for key in ("branch_count", "dag_width", "dag_depth", "merge_debt",
+                    "staleness_ms", "states"):
+            assert key in second["gauges"]
+        assert second["counters"]["store_commits"] == store.metrics.commits
+        assert second["shards"] is None  # flat store: no shard section
+        assert "tardis_branch_count@A" in second["series"]
+        assert sampler.latest is second
+        # Snapshots must survive the wire codec untouched.
+        assert json.loads(json.dumps(second)) == second
+
+    def test_branch_count_tracks_forks(self):
+        store = TardisStore("A")
+        alice, bruno = store.session("alice"), store.session("bruno")
+        store.put("x", 0, session=alice)
+        t1 = store.begin(session=alice)
+        t2 = store.begin(session=bruno)
+        # Read-modify-write on the same key: the second commit fails the
+        # end constraint and branches instead of rippling down.
+        t1.put("x", t1.get("x") + 1)
+        t2.put("x", t2.get("x") + 10)
+        t1.commit()
+        t2.commit()
+        sampler = ObsSampler(store, site="A")
+        assert sampler.sample()["gauges"]["branch_count"] == 2
+
+    def test_trim_views(self):
+        store = TardisStore("A")
+        sampler = ObsSampler(store, site="A")
+        for _ in range(5):
+            snapshot = sampler.sample()
+        assert "series" not in ObsSampler.trim(snapshot, 0)
+        cut = ObsSampler.trim(snapshot, 2)
+        assert all(len(s) <= 2 for s in cut["series"].values())
+        assert ObsSampler.trim(snapshot, None) is snapshot
+        # trim never mutates its input
+        assert len(snapshot["series"]["tardis_branch_count@A"]) == 5
+
+    def test_alert_fires_on_held_excursion(self):
+        store = TardisStore("A")
+        clock = {"t": 0.0}
+        sampler = ObsSampler(
+            store, site="A", clock=lambda: clock["t"], triggers=()
+        )
+        sampler.arm("tardis_branch_count", 1.0, hold_ms=50.0)
+        store.put("x", 0)
+        txns = [store.begin(session=store.session("s%d" % i)) for i in range(3)]
+        for i, txn in enumerate(txns):  # conflicting RMWs -> 3 leaves > 1
+            txn.put("x", txn.get("x") + i + 1)
+        for txn in txns:
+            txn.commit()
+        for _ in range(4):  # hold the excursion past hold_ms
+            clock["t"] += 0.030
+            snapshot = sampler.sample()
+        assert snapshot["alerts_total"] >= 1
+        alert = snapshot["alerts"][0]
+        assert alert["series"] == "tardis_branch_count@A"
+        assert alert["value"] > 1.0
+        assert snapshot["flight_dumps"] >= 1
+        assert sampler.flight.dumps[0]["reason"].startswith("live trip")
+
+    def test_counters_and_gauges_callables_feed_series(self):
+        store = TardisStore("A")
+        sampler = ObsSampler(
+            store,
+            site="A",
+            counters_fn=lambda: {"requests_total": 7, "commits": 3},
+            gauges_fn=lambda: {"sessions": 2, "inflight": 1, "connections": 4},
+            latency_fn=lambda: {"READ": {"count": 1, "mean": 0.5, "p50": 0.5,
+                                         "p90": 0.5, "p99": 0.5, "max": 0.5}},
+        )
+        snapshot = sampler.sample()
+        assert snapshot["gauges"]["sessions"] == 2
+        assert snapshot["counters"]["requests_total"] == 7
+        assert snapshot["latency_ms"]["READ"]["count"] == 1
+        assert snapshot["series"]["tardis_net_requests@A"][-1][1] == 7
+        assert snapshot["series"]["tardis_net_sessions@A"][-1][1] == 2
+
+
+# ---------------------------------------------------------------------------
+# Shard-plane health (satellite 2).
+
+
+class TestWorkerHealth:
+    def test_health_lists_every_worker_with_ping(self):
+        store = TardisStore("A", engine="proc-sharded", shards=4, shard_workers=2)
+        try:
+            store.put("x", 1)
+            health = store.shard_health()
+            assert health["n_shards"] == 4
+            assert health["n_workers"] == 2
+            assert health["workers_alive"] == 2
+            assert health["workers_dead"] == []
+            assert health["leaked_workers"] == 0
+            assert len(health["accesses"]) == 4
+            for worker in health["workers"]:
+                assert worker["alive"] is True
+                assert worker["queue_depth"] == 0
+                assert worker["ping_ms"] >= 0.0
+        finally:
+            store.close()
+
+    def test_dead_worker_is_visible(self):
+        store = TardisStore("A", engine="proc-sharded", shards=2, shard_workers=2)
+        try:
+            store.put("x", 1)
+            store.versions.kill_worker(0)
+            health = store.shard_health()
+            assert health["workers_alive"] == 1
+            assert health["workers_dead"] == [0]
+        finally:
+            store.close()
+
+    def test_flat_store_has_no_shard_section(self):
+        store = TardisStore("A")
+        assert store.shard_health() is None
+
+    def test_in_process_sharded_reports_accesses_only(self):
+        store = TardisStore("A", engine="sharded", shards=4)
+        store.put("x", 1)
+        health = store.shard_health()
+        assert health["n_shards"] == 4
+        assert "workers" not in health
+
+    def test_sampler_feeds_shard_series(self):
+        store = TardisStore("A", engine="proc-sharded", shards=2, shard_workers=2)
+        try:
+            store.put("x", 1)
+            sampler = ObsSampler(store, site="A")
+            snapshot = sampler.sample()
+            assert snapshot["shards"]["n_workers"] == 2
+            assert "tardis_shard_accesses@s0" in snapshot["series"]
+            assert "tardis_shard_queue_depth@w0" in snapshot["series"]
+            assert snapshot["series"]["tardis_shard_workers_alive@A"][-1][1] == 2
+        finally:
+            store.close()
+
+
+# ---------------------------------------------------------------------------
+# Wire ops: OBS_SNAPSHOT / STATS obs section.
+
+
+class TestObsSnapshotOp:
+    def test_snapshot_on_demand_without_sampler(self, served_cold):
+        with TardisClient(port=served_cold.port) as client:
+            client.put("x", 1)
+            snapshot = client.obs_snapshot()
+            assert snapshot["obs_schema"] == OBS_SCHEMA_VERSION
+            assert snapshot["gauges"]["connections"] == 1
+            assert snapshot["counters"]["requests_total"] > 0
+            # The request's own op shows up in the latency table.
+            assert "WRITE" in snapshot["latency_ms"]
+            assert snapshot["latency_ms"]["WRITE"]["p99"] >= 0.0
+
+    def test_tail_trims_series(self, served_cold):
+        with TardisClient(port=served_cold.port) as client:
+            for _ in range(4):
+                client.obs_snapshot()
+            cut = client.obs_snapshot(tail=2)
+            assert all(len(s) <= 2 for s in cut["series"].values())
+            assert "series" not in client.obs_snapshot(tail=0)
+
+    def test_bad_tail_type_is_rejected(self, served_cold):
+        with TardisClient(port=served_cold.port) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.obs_snapshot(tail="many")
+            assert excinfo.value.code == "BAD_REQUEST"
+
+    def test_stats_carries_obs_section(self, served_live):
+        with TardisClient(port=served_live.port) as client:
+            stats = client.stats()
+            assert stats["obs"]["sampler"] is True
+            assert stats["obs"]["interval_s"] == pytest.approx(0.05)
+            assert stats["obs"]["subscribers"] == 0
+            assert "series" not in stats["obs"]["snapshot"]  # light form
+            assert "gauges" in stats["obs"]["snapshot"]
+
+    def test_sampler_ticks_accumulate(self, served_live):
+        with TardisClient(port=served_live.port) as client:
+            assert _wait_until(lambda: client.stats()["obs_samples"] >= 2)
+
+
+# ---------------------------------------------------------------------------
+# Push streams: subscribe / frames / unsubscribe / drops / disconnect.
+
+
+class TestObsSubscribe:
+    def test_unavailable_without_sampler(self, served_cold):
+        with TardisClient(port=served_cold.port) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.subscribe_obs()
+            assert excinfo.value.code == "OBS_UNAVAILABLE"
+
+    def test_frames_arrive_on_cadence_with_increasing_seq(self, served_live):
+        with TardisClient(port=served_live.port) as client:
+            sub = client.subscribe_obs()
+            assert sub["interval_s"] == pytest.approx(0.05)
+            assert sub["resumed"] is False
+            frames = [client.next_obs_frame(timeout=5.0) for _ in range(3)]
+            assert all(f is not None for f in frames)
+            seqs = [f["seq"] for f in frames]
+            assert seqs == sorted(seqs) and len(set(seqs)) == 3
+            for frame in frames:
+                assert frame["push"] == "obs"
+                assert frame["dropped"] == 0
+                assert frame["snapshot"]["obs_schema"] == OBS_SCHEMA_VERSION
+            accounting = client.unsubscribe_obs()
+            assert accounting["subscribed"] is True
+            assert accounting["frames"] >= 3
+            assert accounting["dropped"] == 0
+
+    def test_requests_interleave_with_pushes(self, served_live):
+        with TardisClient(port=served_live.port) as client:
+            client.subscribe_obs()
+            # Ordinary requests keep working while frames stream in; the
+            # client diverts pushes so responses pair up strictly.
+            for i in range(5):
+                client.put("k%d" % i, i)
+                time.sleep(0.02)
+            assert client.get("k4") == 4
+            frame = client.next_obs_frame(timeout=5.0)
+            assert frame is not None and frame["push"] == "obs"
+            client.unsubscribe_obs()
+
+    def test_resubscribe_reports_resumed(self, served_live):
+        with TardisClient(port=served_live.port) as client:
+            assert client.subscribe_obs()["resumed"] is False
+            assert client.subscribe_obs()["resumed"] is True
+            client.unsubscribe_obs()
+
+    def test_unsubscribe_is_idempotent(self, served_live):
+        with TardisClient(port=served_live.port) as client:
+            accounting = client.unsubscribe_obs()
+            assert accounting == {
+                "id": accounting["id"], "ok": True,
+                "subscribed": False, "frames": 0, "dropped": 0,
+            }
+
+    def test_unsubscribed_stream_goes_quiet(self, served_live):
+        with TardisClient(port=served_live.port) as client:
+            client.subscribe_obs()
+            assert client.next_obs_frame(timeout=5.0) is not None
+            client.unsubscribe_obs()
+            # Drain frames already in flight, then expect silence.
+            while client.next_obs_frame(timeout=0.3) is not None:
+                pass
+            assert client.next_obs_frame(timeout=0.3) is None
+
+    def test_slow_consumer_drops_are_counted(self, served_live):
+        server = served_live.server
+        with TardisClient(port=served_live.port) as client:
+            client.subscribe_obs()
+            assert _wait_until(lambda: len(server._obs_subs) == 1)
+            sub = next(iter(server._obs_subs.values()))
+            # Stall the delivery side: cancel the writer task so the
+            # bounded queue fills and the sampler starts dropping.
+            served_live.loop.call_soon_threadsafe(server._cancel_sub_writer, sub)
+            assert _wait_until(lambda: sub.dropped > 0)
+            accounting = client.unsubscribe_obs()
+            assert accounting["dropped"] > 0
+            assert client.stats()["obs_frames_dropped"] > 0
+
+    def test_disconnect_while_subscribed_leaks_nothing(self, served_live):
+        client = TardisClient(port=served_live.port)
+        client.subscribe_obs()
+        assert client.next_obs_frame(timeout=5.0) is not None
+        client._sock.close()  # impolite: no BYE, no unsubscribe
+        server = served_live.server
+        assert _wait_until(lambda: len(server._obs_subs) == 0)
+        assert _wait_until(lambda: len(server.store.sessions()) == 0)
+        report = served_live.stop()
+        assert report["leaked_sessions"] == []
+
+    def test_subscription_drop_policy_unit(self):
+        class _Writer:
+            pass
+
+        async def scenario():
+            from repro.server.server import _ObsSubscription
+
+            sub = _ObsSubscription(1, _Writer(), capacity=2)
+            assert sub.offer({"seq": 1}) is True
+            assert sub.offer({"seq": 2}) is True
+            assert sub.offer({"seq": 3}) is False  # full: dropped
+            assert sub.offer({"seq": 4}) is False
+            assert sub.dropped == 2
+            assert (await sub.queue.get())["seq"] == 1
+
+        asyncio.run(scenario())
+
+
+class TestAsyncClientObs:
+    def test_async_subscribe_round_trip(self, served_live):
+        async def scenario():
+            client = await AsyncTardisClient.connect(port=served_live.port)
+            snapshot = await client.obs_snapshot(tail=0)
+            assert snapshot["obs_schema"] == OBS_SCHEMA_VERSION
+            await client.subscribe_obs()
+            frames = []
+            for _ in range(2):
+                frame = await client.next_obs_frame(timeout=5.0)
+                assert frame is not None
+                frames.append(frame["seq"])
+            # Interleave a request: pushes must not break pairing.
+            await client.put("k", "v")
+            accounting = await client.unsubscribe_obs()
+            assert accounting["subscribed"] is True
+            assert frames == sorted(frames)
+            await client.close()
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Oracle-equivalence guard: the sampler must not change the protocol.
+
+
+class TestSamplerOffEquivalence:
+    SCRIPT = [
+        {"op": "HELLO", "session": "oracle", "protocol": PROTOCOL_VERSION},
+        {"op": "BEGIN"},
+        {"op": "WRITE", "txn": 1, "key": "x", "value": 41},
+        {"op": "COMMIT", "txn": 1},
+        {"op": "BEGIN", "read_only": True},
+        {"op": "READ", "txn": 2, "key": "x"},
+        {"op": "READ_MANY", "txn": 2, "keys": ["x", "missing"]},
+        {"op": "COMMIT", "txn": 2},
+        {"op": "BYE"},
+    ]
+
+    @staticmethod
+    def _run_script(port):
+        """Drive the script over a raw socket; returns the reply bytes."""
+        sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+        replies = []
+        try:
+            for i, fields in enumerate(TestSamplerOffEquivalence.SCRIPT, start=1):
+                request = dict(fields)
+                request["id"] = i
+                payload = json.dumps(
+                    request, separators=(",", ":"), sort_keys=True
+                ).encode()
+                sock.sendall(HEADER.pack(len(payload)) + payload)
+                header = b""
+                while len(header) < 4:
+                    header += sock.recv(4 - len(header))
+                (length,) = struct.unpack(">I", header)
+                body = b""
+                while len(body) < length:
+                    body += sock.recv(length - len(body))
+                replies.append(body)
+        finally:
+            sock.close()
+        return replies
+
+    def test_responses_byte_identical_with_and_without_sampler(self):
+        cold = start_in_thread(site="oracle")
+        hot = start_in_thread(site="oracle", obs_sample_interval=0.02)
+        try:
+            baseline = self._run_script(cold.port)
+            live = self._run_script(hot.port)
+        finally:
+            cold.stop()
+            hot.stop()
+        assert baseline == live
+
+
+# ---------------------------------------------------------------------------
+# Proc-sharded servers expose worker health over the wire.
+
+
+class TestShardedObsOverWire:
+    def test_snapshot_has_shard_section_and_sees_dead_worker(self):
+        handle = start_in_thread(
+            site="shard-obs",
+            engine="proc-sharded",
+            shards=4,
+            shard_workers=2,
+            obs_sample_interval=0.05,
+        )
+        try:
+            with TardisClient(port=handle.port) as client:
+                client.put("x", 1)
+                snapshot = client.obs_snapshot()
+                shards = snapshot["shards"]
+                assert shards["n_shards"] == 4
+                assert shards["workers_alive"] == 2
+                assert shards["leaked_workers"] == 0
+                handle.server.store.versions.kill_worker(0)
+                assert _wait_until(
+                    lambda: client.obs_snapshot()["shards"]["workers_dead"] == [0]
+                )
+        finally:
+            handle.stop()
+
+
+# ---------------------------------------------------------------------------
+# `tardis top` (CLI).
+
+
+class TestTardisTop:
+    def test_one_shot_table(self, served_cold, capsys):
+        with TardisClient(port=served_cold.port) as client:
+            client.put("x", 1)
+        rc = cli_main(["top", "--port", str(served_cold.port)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "tardis top — site=obs-cold" in out
+        assert "branches=" in out
+        assert "p99" in out  # latency table rendered
+
+    def test_live_frames_against_streaming_server(self, served_live, capsys):
+        with TardisClient(port=served_live.port) as client:
+            for i in range(5):
+                client.put("k%d" % i, i)
+        rc = cli_main(
+            ["top", "--port", str(served_live.port), "--live", "--frames", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("tardis top — site=obs-test") == 2
+        assert "COMMIT" in out  # per-op latency row made it through
+
+    def test_live_falls_back_to_polling_without_sampler(self, served_cold, capsys):
+        rc = cli_main(
+            ["top", "--port", str(served_cold.port), "--live", "--frames", "2",
+             "--interval", "0.05"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("tardis top — site=obs-cold") == 2
+
+    def test_sparkline_shapes(self):
+        from repro.tools.top import sparkline
+
+        assert sparkline([], width=4) == "    "
+        assert sparkline([0, 0, 0], width=3) == "▁▁▁"
+        line = sparkline([0, 5, 10], width=3)
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(sparkline(list(range(100)), width=10)) == 10
