@@ -18,6 +18,7 @@ from repro.analysis.engine import (
     Report,
     Rule,
     SourceModule,
+    load_baseline,
     load_project,
     run_check,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "TrackedLock",
     "check_repo",
     "default_rules",
+    "load_baseline",
     "load_project",
     "rules_by_id",
     "run_check",
@@ -44,14 +46,21 @@ __all__ = [
 def check_repo(
     src_root: Optional[Path] = None,
     rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[dict] = None,
 ) -> Report:
     """Run the full check over this checkout (convenience for CLI/tests).
 
     ``src_root`` defaults to the installed ``repro`` package directory,
     which inside the repo is ``src/repro`` — so tests and the CLI agree
-    on the lint target without path plumbing.
+    on the lint target without path plumbing. ``baseline`` is a multiset
+    from :func:`load_baseline`; matching findings are dropped and
+    counted in ``Report.baselined``.
     """
     if src_root is None:
         src_root = Path(__file__).resolve().parent.parent
     project = load_project(Path(src_root))
-    return run_check(project, list(rules) if rules is not None else default_rules())
+    return run_check(
+        project,
+        list(rules) if rules is not None else default_rules(),
+        baseline=baseline,
+    )

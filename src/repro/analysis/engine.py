@@ -45,6 +45,8 @@ __all__ = [
     "Project",
     "Rule",
     "Report",
+    "baseline_key",
+    "load_baseline",
     "load_project",
     "run_check",
 ]
@@ -179,6 +181,9 @@ class Project:
     test_modules: List[SourceModule] = field(default_factory=list)
     #: markdown docs (consumers of metric names).
     docs: List[TextFile] = field(default_factory=list)
+    _class_index: Optional[Dict[str, List[Tuple["SourceModule", ast.ClassDef]]]] = field(
+        default=None, init=False, repr=False
+    )
 
     def module(self, suffix: str) -> Optional[SourceModule]:
         """The source module whose relpath ends with ``suffix``."""
@@ -186,6 +191,29 @@ class Project:
             if module.relpath.replace("\\", "/").endswith(suffix):
                 return module
         return None
+
+    def doc(self, suffix: str) -> Optional[TextFile]:
+        """The doc file whose relpath ends with ``suffix``."""
+        for doc in self.docs:
+            if doc.relpath.replace("\\", "/").endswith(suffix):
+                return doc
+        return None
+
+    def classes(self) -> Dict[str, List[Tuple["SourceModule", ast.ClassDef]]]:
+        """Whole-repo class index: name -> [(module, ClassDef), ...].
+
+        The cross-file context for rules that resolve references between
+        modules (lock-order's attribute-type inference); computed once
+        per run and cached on the project.
+        """
+        if self._class_index is None:
+            index: Dict[str, List[Tuple[SourceModule, ast.ClassDef]]] = {}
+            for module in self.modules:
+                for node in ast.walk(module.tree):
+                    if isinstance(node, ast.ClassDef):
+                        index.setdefault(node.name, []).append((module, node))
+            self._class_index = index
+        return self._class_index
 
 
 class Rule:
@@ -212,6 +240,9 @@ class Report:
     suppressed: int
     rules: List[str]
     files_checked: int
+    #: findings dropped because a ``--baseline`` report already records
+    #: them — the "no *new* findings" CI mode.
+    baselined: int = 0
 
     @property
     def errors(self) -> List[Finding]:
@@ -237,6 +268,7 @@ class Report:
             "files_checked": self.files_checked,
             "rules": list(self.rules),
             "suppressed": self.suppressed,
+            "baselined": self.baselined,
             "counts": {
                 "error": len(self.errors),
                 "warning": len(self.warnings),
@@ -249,7 +281,7 @@ class Report:
 
     def format(self) -> str:
         lines = [f.format() for f in self.findings]
-        lines.append(
+        summary = (
             "tardis check: %d finding(s) (%d error, %d warning), "
             "%d suppressed, %d file(s)"
             % (
@@ -260,6 +292,9 @@ class Report:
                 self.files_checked,
             )
         )
+        if self.baselined:
+            summary += ", %d baselined" % self.baselined
+        lines.append(summary)
         return "\n".join(lines)
 
 
@@ -311,8 +346,46 @@ def load_project(
     return project
 
 
-def run_check(project: Project, rules: Sequence[Rule]) -> Report:
-    """Apply ``rules`` to ``project``; filter suppressions; sort findings."""
+def baseline_key(finding: Finding) -> Tuple[str, str, str]:
+    """The identity a baseline matches on.
+
+    Line numbers shift with every edit, so baselines match on
+    ``(file, rule, message)`` — stable until the offending code itself
+    changes, at which point the finding is (correctly) new again.
+    """
+    return (finding.file, finding.rule, finding.message)
+
+
+def load_baseline(path: Path) -> Dict[Tuple[str, str, str], int]:
+    """Load a prior ``--format=json`` report as a baseline.
+
+    Returns a multiset of finding keys (a key may appear several times
+    when one line of drift produces identical messages in two places).
+    Raises :class:`ValueError` on a document that is not a report.
+    """
+    with open(path) as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "findings" not in doc:
+        raise ValueError("%s is not a tardis check JSON report" % path)
+    keys: Dict[Tuple[str, str, str], int] = {}
+    for entry in doc["findings"]:
+        key = (entry["file"], entry["rule"], entry["message"])
+        keys[key] = keys.get(key, 0) + 1
+    return keys
+
+
+def run_check(
+    project: Project,
+    rules: Sequence[Rule],
+    baseline: Optional[Dict[Tuple[str, str, str], int]] = None,
+) -> Report:
+    """Apply ``rules`` to ``project``; filter suppressions; sort findings.
+
+    ``baseline`` (from :func:`load_baseline`) drops findings already
+    recorded in a prior report, so CI can gate on "no new findings"
+    without requiring a zero-count repo; dropped findings are counted
+    in ``Report.baselined``.
+    """
     modules_by_rel = {m.relpath: m for m in project.modules}
     raw: List[Finding] = []
     for rule in rules:
@@ -322,16 +395,24 @@ def run_check(project: Project, rules: Sequence[Rule]) -> Report:
 
     kept: List[Finding] = []
     suppressed = 0
+    baselined = 0
+    remaining = dict(baseline) if baseline else {}
     for finding in raw:
         module = modules_by_rel.get(finding.file)
         if module is not None and module.suppressed(finding.line, finding.rule):
             suppressed += 1
-        else:
-            kept.append(finding)
+            continue
+        key = baseline_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined += 1
+            continue
+        kept.append(finding)
     kept.sort(key=_sort_key)
     return Report(
         findings=kept,
         suppressed=suppressed,
         rules=[rule.id for rule in rules],
         files_checked=len(project.modules),
+        baselined=baselined,
     )

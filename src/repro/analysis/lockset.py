@@ -111,11 +111,27 @@ class LocksetChecker:
 
     def __init__(self, registry: Optional[_met.MetricsRegistry] = None):
         self._registry = registry
-        self._held: Dict[int, List[str]] = {}  # thread id -> lock-name stack
+        self._held: Dict[int, List[str]] = {}  # thread token -> lock-name stack
         self._fields: Dict[Tuple[int, str], FieldState] = {}
         self._meta: Dict[Tuple[int, str], Tuple[str, str]] = {}
         self._state_lock = threading.Lock()
+        # threading.get_ident() values are recycled as soon as a thread is
+        # joined, which would make a fresh thread look like the first
+        # accessor (EXCLUSIVE forever, race missed). Hand out our own
+        # monotonic per-thread tokens via a thread-local instead: a token
+        # dies with its thread and is never reused.
+        self._thread_tokens = threading.local()
+        self._next_token = 0
         self.findings: List[Finding] = []
+
+    def _thread_token(self) -> int:
+        token = getattr(self._thread_tokens, "token", None)
+        if token is None:
+            with self._state_lock:
+                self._next_token += 1
+                token = self._next_token
+            self._thread_tokens.token = token
+        return token
 
     # -- lock tracking -----------------------------------------------------
 
@@ -123,12 +139,12 @@ class LocksetChecker:
         return TrackedLock(inner, self, name)
 
     def _note_acquire(self, lock: TrackedLock) -> None:
-        tid = threading.get_ident()
+        tid = self._thread_token()
         with self._state_lock:
             self._held.setdefault(tid, []).append(lock.name)
 
     def _note_release(self, lock: TrackedLock) -> None:
-        tid = threading.get_ident()
+        tid = self._thread_token()
         with self._state_lock:
             stack = self._held.get(tid, [])
             # Remove the most recent matching entry (reentrant-safe).
@@ -138,7 +154,7 @@ class LocksetChecker:
                     break
 
     def held_by_current_thread(self) -> Set[str]:
-        tid = threading.get_ident()
+        tid = self._thread_token()
         with self._state_lock:
             return set(self._held.get(tid, ()))
 
@@ -190,7 +206,7 @@ class LocksetChecker:
     def on_access(self, obj: Any, field: str, is_write: bool) -> None:
         key = (id(obj), field)
         held = self.held_by_current_thread()
-        tid = threading.get_ident()
+        tid = self._thread_token()
         with self._state_lock:
             state = self._fields.get(key)
             if state is None:  # not watched (shouldn't happen)

@@ -5,18 +5,24 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Type
 
 from repro.analysis.engine import Rule
+from repro.analysis.rules.async_discipline import AsyncDisciplineRule
 from repro.analysis.rules.generation_contract import GenerationContractRule
 from repro.analysis.rules.hygiene import BareExceptRule, ImportHygieneRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.lock_order import LockOrderRule
 from repro.analysis.rules.metric_drift import MetricNameDriftRule
+from repro.analysis.rules.wire_contract import WireContractRule
 
 __all__ = [
     "ALL_RULES",
+    "AsyncDisciplineRule",
     "BareExceptRule",
     "GenerationContractRule",
     "ImportHygieneRule",
     "LockDisciplineRule",
+    "LockOrderRule",
     "MetricNameDriftRule",
+    "WireContractRule",
     "default_rules",
     "rules_by_id",
 ]
@@ -24,8 +30,11 @@ __all__ = [
 #: every registered rule class, in reporting order.
 ALL_RULES: Sequence[Type[Rule]] = (
     LockDisciplineRule,
+    LockOrderRule,
+    AsyncDisciplineRule,
     GenerationContractRule,
     MetricNameDriftRule,
+    WireContractRule,
     ImportHygieneRule,
     BareExceptRule,
 )

@@ -239,6 +239,15 @@ class _WorkerHandle:
 
     __slots__ = ("index", "shards", "process", "conn", "alive", "_inflight")
 
+    # The handle is only ever driven by the coordinator, which itself
+    # runs under the owning TardisStore's lock — liveness flag and the
+    # in-order outstanding-batch queue included. Enforced dynamically by
+    # the lockset checker; the lock-order rule sees the guard too.
+    _GUARDED_BY = {
+        "alive": "external:TardisStore._lock",
+        "_inflight": "external:TardisStore._lock",
+    }
+
     def __init__(self, index, shards, process, conn):
         self.index = index
         self.shards = shards
@@ -339,6 +348,10 @@ class ProcShardedRecordStore:
         "_batch_ids": "external:TardisStore._lock",
         "_tokens": "external:TardisStore._lock",
         "_dag": "external:TardisStore._lock",
+        "leaked_workers": "external:TardisStore._lock",
+        "_closed": "external:TardisStore._lock",
+        "_hot_registry": "external:TardisStore._lock",
+        "_hot_access": "external:TardisStore._lock",
     }
 
     def __init__(

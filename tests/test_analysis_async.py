@@ -1,0 +1,870 @@
+"""Tests for the concurrency/protocol rule families of ``tardis check``:
+``async-discipline`` fixtures per violation class, interprocedural
+``lock-order`` cycles (positive and negative), ``wire-contract`` drift
+against a deliberately desynced fixture protocol, suppression handling,
+and the ``--only`` / ``--exclude`` / ``--baseline`` CLI modes."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_repo, load_baseline, run_check
+from repro.analysis.engine import Project, SourceModule, TextFile
+from repro.analysis.rules.async_discipline import AsyncDisciplineRule
+from repro.analysis.rules.hygiene import BareExceptRule
+from repro.analysis.rules.lock_order import LockOrderRule
+from repro.analysis.rules.wire_contract import WireContractRule
+from repro.tools.cli import main as cli_main
+
+
+def _module(source, relpath="src/repro/fixture.py"):
+    return SourceModule(Path(relpath), relpath, textwrap.dedent(source))
+
+
+def _findings(rule, source, relpath="src/repro/fixture.py"):
+    return rule.check_module(_module(source, relpath))
+
+
+def _project(sources, doc_text=None):
+    """A fixture Project from {relpath: source}, plus an optional doc."""
+    project = Project(root=Path("."))
+    for relpath, source in sources.items():
+        project.modules.append(_module(source, relpath))
+    if doc_text is not None:
+        project.docs.append(
+            TextFile(Path("docs/internals.md"), "docs/internals.md", doc_text)
+        )
+    return project
+
+
+# ---------------------------------------------------------------------------
+# async-discipline
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncBlockingCalls:
+    def test_time_sleep_in_coroutine(self):
+        (finding,) = _findings(
+            AsyncDisciplineRule(),
+            """
+            import time
+
+            async def handler():
+                time.sleep(1)
+            """,
+        )
+        assert finding.rule == "async-discipline"
+        assert "time.sleep" in finding.message
+
+    def test_asyncio_sleep_is_fine(self):
+        assert not _findings(
+            AsyncDisciplineRule(),
+            """
+            import asyncio
+
+            async def handler():
+                await asyncio.sleep(1)
+            """,
+        )
+
+    def test_socket_call_in_coroutine(self):
+        (finding,) = _findings(
+            AsyncDisciplineRule(),
+            """
+            import socket
+
+            async def handler():
+                socket.create_connection(("h", 1))
+            """,
+        )
+        assert "socket.create_connection" in finding.message
+
+    def test_open_in_coroutine(self):
+        (finding,) = _findings(
+            AsyncDisciplineRule(),
+            """
+            async def handler(path):
+                with open(path) as handle:
+                    return handle.read()
+            """,
+        )
+        assert "open()" in finding.message
+
+    def test_open_in_nested_sync_def_is_fine(self):
+        # The run_server pattern: a nested sync def shipped to an executor.
+        assert not _findings(
+            AsyncDisciplineRule(),
+            """
+            async def handler(loop, path):
+                def write():
+                    with open(path, "w") as handle:
+                        handle.write("x")
+                await loop.run_in_executor(None, write)
+            """,
+        )
+
+    def test_sync_function_may_block(self):
+        assert not _findings(
+            AsyncDisciplineRule(),
+            """
+            import time
+
+            def worker():
+                time.sleep(1)
+            """,
+        )
+
+
+class TestAsyncStoreCalls:
+    def test_direct_store_call_in_coroutine(self):
+        (finding,) = _findings(
+            AsyncDisciplineRule(),
+            """
+            class Server:
+                async def handle(self):
+                    return self.store.begin()
+            """,
+        )
+        assert "self.store.begin" in finding.message
+        assert "executor" in finding.message
+
+    def test_store_method_passed_to_executor_is_fine(self):
+        assert not _findings(
+            AsyncDisciplineRule(),
+            """
+            class Server:
+                async def handle(self, loop):
+                    return await loop.run_in_executor(None, self.store.begin)
+            """,
+        )
+
+
+class TestAwaitUnderLock:
+    GUARDED = """
+        import asyncio
+        import threading
+
+        class Server:
+            _GUARDED_BY = {"_conns": "self._lock"}
+
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._conns = {}
+
+            async def bad(self):
+                with self._lock:
+                    await asyncio.sleep(0)
+
+            async def good(self):
+                with self._lock:
+                    n = len(self._conns)
+                await asyncio.sleep(0)
+                return n
+        """
+
+    def test_await_inside_guarded_lock(self):
+        (finding,) = _findings(AsyncDisciplineRule(), self.GUARDED)
+        assert "await while holding threading lock self._lock" in finding.message
+        assert finding.line == 14
+
+    def test_lock_known_only_from_init(self):
+        (finding,) = _findings(
+            AsyncDisciplineRule(),
+            """
+            import asyncio
+            import threading
+
+            class Server:
+                def __init__(self):
+                    self._mu = threading.RLock()
+
+                async def bad(self):
+                    with self._mu:
+                        await asyncio.sleep(0)
+            """,
+        )
+        assert "self._mu" in finding.message
+
+    def test_non_lock_context_manager_is_fine(self):
+        assert not _findings(
+            AsyncDisciplineRule(),
+            """
+            import asyncio
+
+            class Server:
+                async def fine(self):
+                    with self._session:
+                        await asyncio.sleep(0)
+            """,
+        )
+
+
+class TestDroppedCoroutines:
+    def test_unawaited_method_coroutine(self):
+        (finding,) = _findings(
+            AsyncDisciplineRule(),
+            """
+            class Server:
+                async def flush(self):
+                    pass
+
+                async def handle(self):
+                    self.flush()
+            """,
+        )
+        assert "never awaited" in finding.message
+
+    def test_unawaited_module_coroutine_from_sync_code(self):
+        (finding,) = _findings(
+            AsyncDisciplineRule(),
+            """
+            async def pump():
+                pass
+
+            def kick():
+                pump()
+            """,
+        )
+        assert "pump" in finding.message
+
+    def test_awaited_coroutine_is_fine(self):
+        assert not _findings(
+            AsyncDisciplineRule(),
+            """
+            class Server:
+                async def flush(self):
+                    pass
+
+                async def handle(self):
+                    await self.flush()
+            """,
+        )
+
+    def test_fire_and_forget_create_task(self):
+        (finding,) = _findings(
+            AsyncDisciplineRule(),
+            """
+            import asyncio
+
+            async def handle(coro):
+                asyncio.create_task(coro)
+            """,
+        )
+        assert "fire-and-forget" in finding.message
+
+    def test_retained_task_is_fine(self):
+        assert not _findings(
+            AsyncDisciplineRule(),
+            """
+            import asyncio
+
+            class Server:
+                async def start(self, coro):
+                    self._task = asyncio.create_task(coro)
+            """,
+        )
+
+    def test_suppression_applies(self):
+        module = _module(
+            """
+            import time
+
+            async def handler():
+                time.sleep(1)  # tardis: ignore[async-discipline]
+            """
+        )
+        project = Project(root=Path("."), modules=[module])
+        report = run_check(project, [AsyncDisciplineRule()])
+        assert report.findings == []
+        assert report.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# lock-order
+# ---------------------------------------------------------------------------
+
+
+def _order_findings(source, relpath="src/repro/fixture.py"):
+    project = Project(root=Path("."), modules=[_module(source, relpath)])
+    return LockOrderRule().check_project(project)
+
+
+class TestLockOrderDirect:
+    def test_inverted_nesting_is_a_cycle(self):
+        (finding,) = _order_findings(
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def ab(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def ba(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """
+        )
+        assert finding.rule == "lock-order"
+        assert "cycle" in finding.message
+        assert "Pair._a" in finding.message and "Pair._b" in finding.message
+
+    def test_consistent_order_is_fine(self):
+        assert not _order_findings(
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._a:
+                        with self._b:
+                            pass
+            """
+        )
+
+    def test_lock_reacquisition_is_self_deadlock(self):
+        (finding,) = _order_findings(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """
+        )
+        assert "self-deadlock" in finding.message
+
+    def test_rlock_reacquisition_is_fine(self):
+        assert not _order_findings(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def outer(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """
+        )
+
+
+class TestLockOrderInterprocedural:
+    def test_cycle_through_method_call(self):
+        findings = _order_findings(
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        self.grab_b()
+
+                def grab_b(self):
+                    with self._b:
+                        pass
+
+                def two(self):
+                    with self._b:
+                        self.grab_a()
+
+                def grab_a(self):
+                    with self._a:
+                        pass
+            """
+        )
+        assert len(findings) == 1
+        assert "Pair._a" in findings[0].message
+
+    def test_self_deadlock_through_method_call(self):
+        (finding,) = _order_findings(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    with self._lock:
+                        self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        pass
+            """
+        )
+        assert "self-deadlock" in finding.message
+
+    def test_call_without_lock_held_is_fine(self):
+        assert not _order_findings(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        pass
+            """
+        )
+
+    def test_cross_class_cycle_via_attribute_type(self):
+        findings = _order_findings(
+            """
+            import threading
+
+            class Inner:
+                def __init__(self, owner):
+                    self._b = threading.Lock()
+                    self.owner = owner
+
+                def grab(self):
+                    with self._b:
+                        pass
+
+                def call_back(self):
+                    with self._b:
+                        self.owner.touch()
+
+            class Outer:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self.inner = Inner(self)
+
+                def touch(self):
+                    with self._a:
+                        pass
+
+                def descend(self):
+                    with self._a:
+                        self.inner.grab()
+            """
+        )
+        # Outer._a -> Inner._b (descend) closes against Inner._b ->
+        # Outer._a (call_back: owner's type is not inferable, so the
+        # reverse edge must come from somewhere the rule *can* see).
+        # owner is a constructor argument, not a ClassName(...) call, so
+        # only the Outer._a -> Inner._b edge exists: acyclic.
+        assert findings == []
+
+    def test_cross_class_cycle_when_both_edges_resolvable(self):
+        findings = _order_findings(
+            """
+            import threading
+
+            class Inner:
+                def __init__(self):
+                    self._b = threading.Lock()
+                    self.peer = Outer()
+
+                def grab(self):
+                    with self._b:
+                        pass
+
+                def call_back(self):
+                    with self._b:
+                        self.peer.touch()
+
+            class Outer:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self.inner = Inner()
+
+                def touch(self):
+                    with self._a:
+                        pass
+
+                def descend(self):
+                    with self._a:
+                        self.inner.grab()
+            """
+        )
+        assert len(findings) == 1
+        assert "Inner._b" in findings[0].message
+        assert "Outer._a" in findings[0].message
+
+    def test_guarded_by_only_lock_participates(self):
+        # Lock declared via _GUARDED_BY spec (external ctor): with-sites
+        # on it still produce graph nodes.
+        (finding,) = _order_findings(
+            """
+            import threading
+
+            class Box:
+                _GUARDED_BY = {"_items": "self._lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._aux = threading.Lock()
+                    self._items = {}
+
+                def one(self):
+                    with self._lock:
+                        with self._aux:
+                            pass
+
+                def two(self):
+                    with self._aux:
+                        with self._lock:
+                            pass
+            """
+        )
+        assert "Box._aux" in finding.message and "Box._lock" in finding.message
+
+
+# ---------------------------------------------------------------------------
+# wire-contract
+# ---------------------------------------------------------------------------
+
+
+PROTOCOL_SRC = """
+    OPS = frozenset({"HELLO", "PING"})
+
+    ERROR_CODES = {
+        "BAD_REQUEST": "missing field",
+        "UNKNOWN_OP": "no such verb",
+    }
+    """
+
+SERVER_SRC = """
+    class _RequestError(Exception):
+        def __init__(self, code, message=""):
+            self.code = code
+            self.message = message
+
+
+    class Server:
+        def _op_hello(self, request):
+            if "bad" in request:
+                raise _RequestError("BAD_REQUEST", "nope")
+            return {}
+
+        def _op_ping(self, request):
+            return {}
+
+        def dispatch(self, op):
+            if op not in ("HELLO", "PING"):
+                return error_response(1, "UNKNOWN_OP")
+    """
+
+CLIENT_SRC = """
+    class Client:
+        def hello(self):
+            return self._request("HELLO")
+
+        def ping(self):
+            return self._request("PING")
+    """
+
+AIO_SRC = """
+    class AsyncClient:
+        async def hello(self):
+            return await self._request("HELLO")
+
+        async def ping(self):
+            return await self._request("PING")
+    """
+
+DOC_TEXT = """\
+## 12. Wire protocol
+
+| op | request | response |
+|---|---|---|
+| `HELLO` | — | — |
+| `PING` | — | — |
+
+| code | meaning |
+|---|---|
+| `BAD_REQUEST` | missing field |
+| `UNKNOWN_OP` | no such verb |
+"""
+
+
+def _wire_project(protocol=PROTOCOL_SRC, server=SERVER_SRC, client=CLIENT_SRC,
+                  aio=AIO_SRC, doc=DOC_TEXT):
+    return _project(
+        {
+            "src/repro/server/protocol.py": protocol,
+            "src/repro/server/server.py": server,
+            "src/repro/client/client.py": client,
+            "src/repro/client/aio.py": aio,
+        },
+        doc_text=doc,
+    )
+
+
+class TestWireContract:
+    def test_synced_fixture_is_clean(self):
+        assert WireContractRule().check_project(_wire_project()) == []
+
+    def test_rule_is_silent_without_the_layout(self):
+        project = _project({"src/repro/mod.py": "def f():\n    return 1\n"})
+        assert WireContractRule().check_project(project) == []
+
+    def test_op_removed_from_client_stub(self):
+        # The seeded-drift acceptance case: drop PING from the async
+        # client and exactly one finding names that client and that op.
+        desynced = AIO_SRC.replace(
+            'return await self._request("PING")', "return None"
+        )
+        findings = WireContractRule().check_project(_wire_project(aio=desynced))
+        assert len(findings) == 1
+        assert findings[0].rule == "wire-contract"
+        assert "PING" in findings[0].message
+        assert "client/aio.py" in findings[0].message
+        assert findings[0].file == "src/repro/server/protocol.py"
+
+    def test_client_op_outside_catalogue(self):
+        rogue = CLIENT_SRC + "\n        def stats(self):\n            return self._request(\"STATS\")\n"
+        findings = WireContractRule().check_project(_wire_project(client=rogue))
+        assert len(findings) == 1
+        assert "STATS" in findings[0].message
+        assert findings[0].file == "src/repro/client/client.py"
+
+    def test_op_without_server_handler(self):
+        desynced = SERVER_SRC.replace("def _op_ping", "def _unused_ping")
+        findings = WireContractRule().check_project(_wire_project(server=desynced))
+        assert len(findings) == 1
+        assert "_op_ping" in findings[0].message
+
+    def test_handler_without_op(self):
+        extra = SERVER_SRC + "\n        def _op_extra(self, request):\n            return {}\n"
+        findings = WireContractRule().check_project(_wire_project(server=extra))
+        assert len(findings) == 1
+        assert "unreachable" in findings[0].message
+        assert findings[0].file == "src/repro/server/server.py"
+
+    def test_error_code_removed_from_docs_table(self):
+        desynced = DOC_TEXT.replace("| `UNKNOWN_OP` | no such verb |\n", "")
+        findings = WireContractRule().check_project(_wire_project(doc=desynced))
+        assert len(findings) == 1
+        assert "UNKNOWN_OP" in findings[0].message
+        assert "missing from the code table" in findings[0].message
+
+    def test_stale_docs_row(self):
+        stale = DOC_TEXT + "| `GONE_CODE` | long retired |\n"
+        findings = WireContractRule().check_project(_wire_project(doc=stale))
+        assert len(findings) == 1
+        assert "GONE_CODE" in findings[0].message
+        assert findings[0].file == "docs/internals.md"
+
+    def test_emitted_code_outside_catalogue(self):
+        rogue = SERVER_SRC.replace('"BAD_REQUEST"', '"MADE_UP"')
+        findings = WireContractRule().check_project(_wire_project(server=rogue))
+        # Two sides of the same drift: the rogue emission, and the
+        # catalogued BAD_REQUEST it replaced going dead in the server.
+        assert len(findings) == 2
+        assert any("MADE_UP" in f.message for f in findings)
+        assert any(
+            "BAD_REQUEST" in f.message and "dead contract" in f.message
+            for f in findings
+        )
+
+    def test_dead_catalogue_code(self):
+        bloated = PROTOCOL_SRC.replace(
+            '"UNKNOWN_OP": "no such verb",',
+            '"UNKNOWN_OP": "no such verb",\n        "NEVER_SENT": "dead",',
+        )
+        doc = DOC_TEXT.replace(
+            "| `UNKNOWN_OP` | no such verb |",
+            "| `UNKNOWN_OP` | no such verb |\n| `NEVER_SENT` | dead |",
+        )
+        findings = WireContractRule().check_project(
+            _wire_project(protocol=bloated, doc=doc)
+        )
+        assert len(findings) == 1
+        assert "NEVER_SENT" in findings[0].message
+        assert "dead contract" in findings[0].message
+
+    def test_missing_doc_table_is_one_finding(self):
+        no_codes = "\n".join(
+            line for line in DOC_TEXT.splitlines() if "code" not in line.lower()
+        )
+        findings = WireContractRule().check_project(_wire_project(doc=no_codes))
+        assert any("undocumented" in f.message for f in findings)
+
+
+def test_real_wire_surfaces_agree():
+    """The live repo passes its own wire-contract rule end to end."""
+    report = check_repo(rules=[WireContractRule()])
+    assert report.ok, "\n" + report.format()
+
+
+# ---------------------------------------------------------------------------
+# baseline mode
+# ---------------------------------------------------------------------------
+
+
+BARE_EXCEPT_SRC = """
+    def f():
+        try:
+            return 1
+        except Exception:
+            pass
+    """
+
+
+class TestBaseline:
+    def _report(self, baseline=None):
+        project = Project(
+            root=Path("."), modules=[_module(BARE_EXCEPT_SRC, "src/repro/m.py")]
+        )
+        return run_check(project, [BareExceptRule()], baseline=baseline)
+
+    def test_baseline_suppresses_known_findings(self, tmp_path):
+        first = self._report()
+        assert len(first.findings) == 1
+        path = tmp_path / "baseline.json"
+        path.write_text(first.to_json())
+        second = self._report(baseline=load_baseline(path))
+        assert second.findings == []
+        assert second.baselined == 1
+        assert second.ok and second.exit_code == 0
+        assert "1 baselined" in second.format()
+        assert second.to_dict()["baselined"] == 1
+
+    def test_baseline_does_not_hide_new_findings(self, tmp_path):
+        first = self._report()
+        path = tmp_path / "baseline.json"
+        path.write_text(first.to_json())
+        baseline = load_baseline(path)
+        project = Project(
+            root=Path("."),
+            modules=[
+                _module(BARE_EXCEPT_SRC, "src/repro/m.py"),
+                _module(BARE_EXCEPT_SRC, "src/repro/fresh.py"),
+            ],
+        )
+        report = run_check(project, [BareExceptRule()], baseline=baseline)
+        assert len(report.findings) == 1
+        assert report.findings[0].file == "src/repro/fresh.py"
+        assert report.baselined == 1
+
+    def test_load_baseline_rejects_non_reports(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+# ---------------------------------------------------------------------------
+# CLI filters
+# ---------------------------------------------------------------------------
+
+
+class TestCliFilters:
+    def _write_pkg(self, tmp_path, body=BARE_EXCEPT_SRC):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text(textwrap.dedent(body))
+        return pkg
+
+    def test_only_runs_one_rule(self, tmp_path, capsys):
+        pkg = self._write_pkg(tmp_path)
+        rc = cli_main(
+            ["check", "--root", str(pkg), "--only", "bare-except", "--format=json"]
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert data["rules"] == ["bare-except"]
+        assert data["counts"]["error"] == 1
+
+    def test_exclude_drops_the_rule(self, tmp_path, capsys):
+        pkg = self._write_pkg(tmp_path)
+        rc = cli_main(
+            ["check", "--root", str(pkg), "--exclude", "bare-except", "--format=json"]
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert "bare-except" not in data["rules"]
+        assert data["findings"] == []
+
+    def test_exclude_unknown_rule_exits_two(self, tmp_path):
+        pkg = self._write_pkg(tmp_path)
+        assert cli_main(["check", "--root", str(pkg), "--exclude", "nope"]) == 2
+
+    def test_only_unknown_rule_exits_two(self, tmp_path):
+        pkg = self._write_pkg(tmp_path)
+        assert cli_main(["check", "--root", str(pkg), "--only", "nope"]) == 2
+
+    def test_baseline_gates_no_new_findings(self, tmp_path, capsys):
+        pkg = self._write_pkg(tmp_path)
+        rc = cli_main(["check", "--root", str(pkg), "--format=json"])
+        assert rc == 1
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(capsys.readouterr().out)
+        rc = cli_main(
+            [
+                "check",
+                "--root",
+                str(pkg),
+                "--baseline",
+                str(baseline),
+                "--format=json",
+            ]
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert data["baselined"] >= 1
+        assert data["findings"] == []
+
+    def test_bad_baseline_exits_two(self, tmp_path):
+        pkg = self._write_pkg(tmp_path)
+        junk = tmp_path / "junk.json"
+        junk.write_text("{}")
+        assert (
+            cli_main(["check", "--root", str(pkg), "--baseline", str(junk)]) == 2
+        )
+
+
+# ---------------------------------------------------------------------------
+# regression: the real violations this rule family caught, stay fixed
+# ---------------------------------------------------------------------------
+
+
+def test_run_server_port_file_write_is_offloaded():
+    """The port-file write in run_server._main hops through an executor
+    (it was a blocking open() on the event loop when first linted)."""
+    report = check_repo(rules=[AsyncDisciplineRule()])
+    assert report.ok, "\n" + report.format()
+    # The two shutdown-path store calls stay visible as suppressions.
+    assert report.suppressed >= 2
+
+
+def test_repo_lock_graph_is_acyclic():
+    report = check_repo(rules=[LockOrderRule()])
+    assert report.ok, "\n" + report.format()
